@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRealMainUnknownExperiment(t *testing.T) {
+	if err := realMain(true, "E99", false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRealMainRunsSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	// E4 is the cheapest experiment (pure encoding).
+	if err := realMain(true, "E4", true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRequiresIORAndOperation(t *testing.T) {
+	if err := run("", "", false, 1, time.Second, []string{"read"}); err == nil {
+		t.Fatal("missing IOR accepted")
+	}
+	if err := run("IOR:00", "", false, 1, time.Second, nil); err == nil {
+		t.Fatal("missing operation accepted")
+	}
+}
+
+func TestRunRejectsBadIOR(t *testing.T) {
+	err := run("IOR:zz", "", false, 1, time.Second, []string{"read"})
+	if err == nil || !strings.Contains(err.Error(), "ior") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,209 @@
+// Command ftdomaind runs a complete fault tolerance domain in one
+// process: a Totem ring over the simulated network, the replication
+// mechanisms on every processor, a replicated demo object (a register
+// supporting set/append/read/ops), and one or more gateways listening on
+// real TCP ports.
+//
+// It prints the multi-profile IOR that external clients (cmd/ftclient,
+// or any program speaking GIOP 1.0) use to reach the replicated object
+// through the gateways, then serves until interrupted.
+//
+// Usage:
+//
+//	ftdomaind -nodes 4 -replicas 3 -gateways 2 -style active
+//	ftdomaind -listen 127.0.0.1:9021,127.0.0.1:9022
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"eternalgw/internal/domain"
+	"eternalgw/internal/experiments"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/ior"
+	"eternalgw/internal/memnet"
+	"eternalgw/internal/naming"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/replication"
+	"eternalgw/internal/totem"
+	"eternalgw/internal/udpnet"
+)
+
+// udpFactory builds a localhost UDP registry for the domain's processors
+// and returns a transport factory over it.
+func udpFactory(nodes int) (func(memnet.NodeID) (totem.Transport, error), udpnet.Registry, error) {
+	registry := make(udpnet.Registry, nodes)
+	for i := 0; i < nodes; i++ {
+		id := memnet.NodeID(fmt.Sprintf("demo/p%02d", i))
+		probe, err := udpnet.Listen(id, udpnet.Registry{id: "127.0.0.1:0"})
+		if err != nil {
+			return nil, nil, err
+		}
+		registry[id] = probe.Addr()
+		if err := probe.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	factory := func(id memnet.NodeID) (totem.Transport, error) {
+		return udpnet.Listen(id, registry)
+	}
+	return factory, registry, nil
+}
+
+const (
+	demoGroup replication.GroupID = 100
+	demoKey                       = "demo/register"
+	demoType                      = "IDL:eternalgw/Register:1.0"
+	demoName                      = "demo/register"
+)
+
+// bindDemo registers the demo object's reference in the name service
+// through a gateway, like any external administration client would.
+func bindDemo(nsRef, demoRef ior.Ref) error {
+	p, err := nsRef.PrimaryProfile()
+	if err != nil {
+		return err
+	}
+	conn, err := orb.Dial(p.Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	return naming.ViaConn(conn).Rebind(demoName, demoRef)
+}
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "processors in the domain")
+		replicas = flag.Int("replicas", 3, "replicas of the demo object")
+		gateways = flag.Int("gateways", 2, "gateways on the domain edge")
+		styleStr = flag.String("style", "active", "replication style: stateless|cold|warm|active|voting")
+		listen   = flag.String("listen", "", "comma-separated gateway listen addresses (default: ephemeral localhost ports)")
+		monitor  = flag.Duration("monitor", 250*time.Millisecond, "resource manager reconciliation interval (0 disables)")
+		udp      = flag.Bool("udp", false, "run the domain's totem ring over real UDP sockets on localhost instead of the in-process network")
+		quorum   = flag.Bool("quorum", false, "enable majority-partition protection (a minority partition refuses to serve)")
+	)
+	flag.Parse()
+	if err := run(*nodes, *replicas, *gateways, *styleStr, *listen, *monitor, *udp, *quorum); err != nil {
+		fmt.Fprintln(os.Stderr, "ftdomaind:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStyle(s string) (replication.Style, error) {
+	switch strings.ToLower(s) {
+	case "stateless":
+		return replication.Stateless, nil
+	case "cold":
+		return replication.ColdPassive, nil
+	case "warm":
+		return replication.WarmPassive, nil
+	case "active":
+		return replication.Active, nil
+	case "voting":
+		return replication.ActiveWithVoting, nil
+	default:
+		return 0, fmt.Errorf("unknown replication style %q", s)
+	}
+}
+
+func run(nodes, replicas, gateways int, styleStr, listen string, monitor time.Duration, udp, quorum bool) error {
+	style, err := parseStyle(styleStr)
+	if err != nil {
+		return err
+	}
+	if replicas > nodes {
+		return fmt.Errorf("cannot place %d replicas on %d nodes", replicas, nodes)
+	}
+	cfg := domain.Config{Name: "demo", Nodes: nodes}
+	if quorum {
+		cfg.Replication = replication.Config{QuorumOf: nodes}
+	}
+	if udp {
+		factory, registry, err := udpFactory(nodes)
+		if err != nil {
+			return err
+		}
+		cfg.TransportFactory = factory
+		fmt.Printf("totem ring over UDP: %d sockets on localhost\n", len(registry))
+	}
+	d, err := domain.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	err = d.Manager().CreateReplicatedObject(demoGroup, ftmgmt.Properties{
+		Style:           style,
+		InitialReplicas: replicas,
+		MinReplicas:     replicas,
+		ObjectKey:       []byte(demoKey),
+		TypeID:          demoType,
+	}, func() (replication.Application, error) {
+		return &experiments.RegisterApp{}, nil
+	})
+	if err != nil {
+		return err
+	}
+	if monitor > 0 {
+		d.Manager().Monitor(monitor)
+	}
+
+	// A replicated name service, bound under the conventional key, with
+	// the demo object registered in it.
+	err = d.Manager().CreateReplicatedObject(demoGroup+1, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: min(2, nodes),
+		MinReplicas:     1,
+		ObjectKey:       []byte(naming.ObjectKey),
+		TypeID:          naming.TypeID,
+	}, func() (replication.Application, error) { return naming.NewService(), nil })
+	if err != nil {
+		return err
+	}
+
+	var addrs []string
+	if listen != "" {
+		addrs = strings.Split(listen, ",")
+		gateways = len(addrs)
+	}
+	for i := 0; i < gateways; i++ {
+		addr := ""
+		if addrs != nil {
+			addr = strings.TrimSpace(addrs[i])
+		}
+		gw, err := d.AddGateway(i%nodes, addr)
+		if err != nil {
+			return fmt.Errorf("gateway %d: %w", i, err)
+		}
+		fmt.Printf("gateway %d listening on %s\n", i, gw.Addr())
+	}
+	ref, err := d.PublishIOR(demoType, []byte(demoKey))
+	if err != nil {
+		return err
+	}
+	nsRef, err := d.PublishIOR(naming.TypeID, []byte(naming.ObjectKey))
+	if err != nil {
+		return err
+	}
+	if err := bindDemo(nsRef, ref); err != nil {
+		return fmt.Errorf("binding demo object in the name service: %w", err)
+	}
+	fmt.Printf("domain: %d processors, %d %s replicas of %q, %d gateway(s)\n",
+		nodes, replicas, style, demoKey, gateways)
+	fmt.Printf("object reference:\n%s\n", ref.String())
+	fmt.Printf("name service reference (demo object bound as %q):\n%s\n", demoName, nsRef.String())
+	fmt.Println("serving; interrupt to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

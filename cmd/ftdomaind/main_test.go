@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseStyle(t *testing.T) {
+	tests := []struct {
+		in      string
+		wantErr bool
+	}{
+		{"stateless", false},
+		{"cold", false},
+		{"warm", false},
+		{"active", false},
+		{"voting", false},
+		{"ACTIVE", false},
+		{"bogus", true},
+		{"", true},
+	}
+	for _, tt := range tests {
+		if _, err := parseStyle(tt.in); (err != nil) != tt.wantErr {
+			t.Errorf("parseStyle(%q) err = %v", tt.in, err)
+		}
+	}
+}
+
+func TestRunRejectsImpossiblePlacement(t *testing.T) {
+	if err := run(2, 3, 1, "active", "", 0, false, false); err == nil {
+		t.Fatal("3 replicas on 2 nodes accepted")
+	}
+	if err := run(2, 1, 1, "sideways", "", 0, false, false); err == nil {
+		t.Fatal("bad style accepted")
+	}
+}

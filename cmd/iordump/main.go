@@ -1,0 +1,76 @@
+// Command iordump decodes stringified CORBA object references
+// ("IOR:<hex>") and prints their type id and profiles — handy when
+// inspecting what a gateway-rewritten or multi-profile IOR actually
+// points at.
+//
+// Usage:
+//
+//	iordump IOR:0000...          # decode one reference
+//	echo IOR:0000... | iordump   # or from stdin, one per line
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"eternalgw/internal/ior"
+)
+
+func main() {
+	if err := realMain(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iordump:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(args []string) error {
+	if len(args) > 0 {
+		for _, arg := range args {
+			if err := dump(arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := dump(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func dump(s string) error {
+	ref, err := ior.Parse(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("type id: %s\n", ref.TypeID)
+	profiles, err := ref.IIOPProfiles()
+	if err != nil {
+		fmt.Printf("profiles: %d (none IIOP: %v)\n", len(ref.Profiles), err)
+		return nil
+	}
+	for i, p := range profiles {
+		fmt.Printf("profile %d: IIOP %d.%d endpoint=%s object-key=%q\n",
+			i, p.Major, p.Minor, p.Addr(), p.ObjectKey)
+	}
+	if len(profiles) > 1 {
+		fmt.Printf("multi-profile reference: %d redundant gateways (failover order as listed)\n", len(profiles))
+	}
+	if orbType, ok := ref.ORBType(); ok {
+		fmt.Printf("orb type: %#x\n", orbType)
+	}
+	if name, ok := ref.FTDomain(); ok {
+		fmt.Printf("fault tolerance domain: %s\n", name)
+	}
+	return nil
+}

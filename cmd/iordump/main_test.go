@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"eternalgw/internal/ior"
+)
+
+func TestDumpValidIOR(t *testing.T) {
+	ref := ior.NewMulti("IDL:X:1.0",
+		ior.IIOPProfile{Host: "gw1", Port: 1, ObjectKey: []byte("k")},
+		ior.IIOPProfile{Host: "gw2", Port: 2, ObjectKey: []byte("k")},
+	)
+	if err := dump(ref.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpRejectsGarbage(t *testing.T) {
+	if err := dump("IOR:zz"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := dump("not-an-ior"); err == nil {
+		t.Fatal("non-IOR accepted")
+	}
+}
+
+func TestRealMainArgs(t *testing.T) {
+	ref := ior.New("IDL:X:1.0", ior.IIOPProfile{Host: "h", Port: 1, ObjectKey: []byte("k")})
+	if err := realMain([]string{ref.String()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain([]string{"IOR:zz"}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

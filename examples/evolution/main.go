@@ -1,0 +1,199 @@
+// Evolution: live upgrade of a replicated object (paper section 2, the
+// Eternal Evolution Manager). A v1 pricing service is upgraded to v2 —
+// new behaviour, same state — while clients keep invoking it through the
+// gateway. Replication is what makes this possible: the new replicas
+// receive the old replicas' state by state transfer, and the old ones
+// retire only once their replacements are live.
+//
+// Run with: go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/domain"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/replication"
+)
+
+const (
+	group     replication.GroupID = 100
+	objectKey                     = "pricing/quotes"
+	refType                       = "IDL:eternalgw/Pricing:1.0"
+)
+
+// pricer quotes prices; v2 adds a volume discount but keeps v1's state
+// encoding (quotes served so far), so state transfers across versions.
+type pricer struct {
+	version int64
+
+	mu     sync.Mutex
+	quotes int64
+}
+
+func (p *pricer) Invoke(op string, args *cdr.Reader, reply *cdr.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch op {
+	case "quote":
+		qty := args.ReadLongLong()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		price := qty * 100
+		if p.version >= 2 && qty >= 10 {
+			price = price * 9 / 10 // v2: 10% volume discount
+		}
+		p.quotes++
+		reply.WriteLongLong(price)
+		return nil
+	case "stats":
+		reply.WriteLongLong(p.version)
+		reply.WriteLongLong(p.quotes)
+		return nil
+	default:
+		return fmt.Errorf("pricer: unknown operation %q", op)
+	}
+}
+
+func (p *pricer) State() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(p.quotes)
+	return w.Bytes(), nil
+}
+
+func (p *pricer) SetState(state []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := cdr.NewReader(state, cdr.BigEndian)
+	p.quotes = r.ReadLongLong()
+	return r.Err()
+}
+
+func quoteArgs(qty int64) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(qty)
+	return w.Bytes()
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evolution:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	d, err := domain.New(domain.Config{Name: "pricing", Nodes: 5})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	mkFactory := func(version int64) ftmgmt.Factory {
+		return func() (replication.Application, error) { return &pricer{version: version}, nil }
+	}
+	err = d.Manager().CreateReplicatedObject(group, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 2,
+		MinReplicas:     1,
+		ObjectKey:       []byte(objectKey),
+		TypeID:          refType,
+	}, mkFactory(1))
+	if err != nil {
+		return err
+	}
+	if _, err := d.AddGateway(4, ""); err != nil {
+		return err
+	}
+	ref, err := d.PublishIOR(refType, []byte(objectKey))
+	if err != nil {
+		return err
+	}
+
+	obj, conn, err := orb.Resolve(ref)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+
+	quote := func(qty int64) (int64, error) {
+		r, err := obj.Call("quote", quoteArgs(qty), orb.InvokeOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return r.ReadLongLong(), nil
+	}
+	stats := func() (version, quotes int64, err error) {
+		r, err := obj.Call("stats", nil, orb.InvokeOptions{})
+		if err != nil {
+			return 0, 0, err
+		}
+		version = r.ReadLongLong()
+		quotes = r.ReadLongLong()
+		return version, quotes, r.Err()
+	}
+
+	// v1 in production.
+	for i := 0; i < 5; i++ {
+		if _, err := quote(12); err != nil {
+			return err
+		}
+	}
+	price, err := quote(12)
+	if err != nil {
+		return err
+	}
+	v, q, err := stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("v%d serving: quote(12 units) = %d  (quotes so far: %d)\n", v, price, q)
+
+	// Live upgrade to v2 while the object keeps serving.
+	fmt.Println("\n>> evolution manager: upgrading pricing service to v2 (no downtime)")
+	upgradeDone := make(chan error, 1)
+	go func() { upgradeDone <- d.Manager().Upgrade(group, mkFactory(2)) }()
+	// Clients keep calling throughout the upgrade.
+	for i := 0; i < 10; i++ {
+		if _, err := quote(1); err != nil {
+			return fmt.Errorf("quote during upgrade: %w", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-upgradeDone; err != nil {
+		return err
+	}
+
+	// Wait for the last v1 replica to retire, then observe v2 behaviour
+	// with v1's accumulated state.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, _, err = stats()
+		if err != nil {
+			return err
+		}
+		if v == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	price, err = quote(12)
+	if err != nil {
+		return err
+	}
+	v, q, err = stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("v%d serving: quote(12 units) = %d  <- volume discount active\n", v, price)
+	fmt.Printf("state carried across the upgrade: %d quotes served in total\n", q)
+	return nil
+}

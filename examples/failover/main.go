@@ -1,0 +1,181 @@
+// Failover: paper sections 3.4 vs 3.5, side by side.
+//
+// Act 1 (plain ORB, single gateway): the gateway process dies mid-
+// session. The client's outstanding requests are abandoned — it never
+// learns their fate — and a naive resend through the recovered gateway
+// executes the operation a second time.
+//
+// Act 2 (enhanced client, redundant gateways): the same failure, but the
+// client runs the thin client-side interception layer over a
+// multi-profile IOR. It fails over to the next gateway, reissues its
+// pending invocations with its unique client identifier, and every
+// operation happens exactly once.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"eternalgw/internal/domain"
+	"eternalgw/internal/experiments"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/replication"
+	"eternalgw/internal/thinclient"
+)
+
+const (
+	group     replication.GroupID = 100
+	objectKey                     = "account/balance"
+	refType                       = "IDL:eternalgw/Account:1.0"
+)
+
+func main() {
+	if err := actOne(); err != nil {
+		fmt.Fprintln(os.Stderr, "failover (act 1):", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := actTwo(); err != nil {
+		fmt.Fprintln(os.Stderr, "failover (act 2):", err)
+		os.Exit(1)
+	}
+}
+
+func setup(gateways int) (*domain.Domain, []*experiments.RegisterApp, error) {
+	d, err := domain.New(domain.Config{Name: "bank", Nodes: 4})
+	if err != nil {
+		return nil, nil, err
+	}
+	var apps []*experiments.RegisterApp
+	err = d.Manager().CreateReplicatedObject(group, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 2,
+		MinReplicas:     1,
+		ObjectKey:       []byte(objectKey),
+		TypeID:          refType,
+	}, func() (replication.Application, error) {
+		app := &experiments.RegisterApp{}
+		apps = append(apps, app)
+		return app, nil
+	})
+	if err != nil {
+		d.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < gateways; i++ {
+		if _, err := d.AddGateway(2+i%2, ""); err != nil {
+			d.Close()
+			return nil, nil, err
+		}
+	}
+	return d, apps, nil
+}
+
+func waitOps(app *experiments.RegisterApp, want int64) int64 {
+	deadline := time.Now().Add(2 * time.Second)
+	for app.Ops() < want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	return app.Ops()
+}
+
+// actOne demonstrates section 3.4: plain client, single gateway.
+func actOne() error {
+	fmt.Println("=== Act 1: plain ORB client, single gateway (section 3.4) ===")
+	d, apps, err := setup(1)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	gw := d.Gateways()[0]
+
+	conn, err := orb.Dial(gw.Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+
+	// A deposit goes through...
+	if _, err := conn.Call([]byte(objectKey), "append", experiments.OctetSeqArg([]byte("+100")), orb.InvokeOptions{RequestID: 1}); err != nil {
+		return err
+	}
+	fmt.Println("deposit #1 acknowledged")
+
+	// ...then the gateway process dies.
+	_ = gw.Close()
+	fmt.Println("!! gateway process failed")
+	_, err = conn.Call([]byte(objectKey), "append", experiments.OctetSeqArg([]byte("+100")), orb.InvokeOptions{RequestID: 2, Timeout: 500 * time.Millisecond})
+	fmt.Printf("deposit #2: %v  <- abandoned; the customer cannot know whether it happened\n", err)
+
+	// The gateway recovers; the customer retries deposit #2.
+	if _, err := d.AddGateway(3, ""); err != nil {
+		return err
+	}
+	conn2, err := orb.Dial(d.Gateways()[1].Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn2.Close() }()
+	if _, err := conn2.Call([]byte(objectKey), "append", experiments.OctetSeqArg([]byte("+100")), orb.InvokeOptions{RequestID: 2}); err != nil {
+		return err
+	}
+	ops := waitOps(apps[0], 2)
+	fmt.Printf("deposit #2 retried through the recovered gateway: server executed %d operations for 2 acknowledged deposits\n", ops)
+	if ops > 2 {
+		fmt.Println(">> the retry DUPLICATED a deposit the domain had already executed — the corruption section 3.4 warns about")
+	}
+	return nil
+}
+
+// actTwo demonstrates section 3.5: enhanced client, redundant gateways.
+func actTwo() error {
+	fmt.Println("=== Act 2: enhanced client, redundant gateways (section 3.5) ===")
+	d, apps, err := setup(3)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	ref, err := d.PublishIOR(refType, []byte(objectKey))
+	if err != nil {
+		return err
+	}
+	profiles, _ := ref.IIOPProfiles()
+	fmt.Printf("multi-profile IOR carries %d gateway endpoints\n", len(profiles))
+
+	c, err := thinclient.Dial(ref, thinclient.Config{CallTimeout: 2 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+
+	const deposits = 12
+	for i := 1; i <= deposits; i++ {
+		if i == 4 {
+			_ = d.Gateways()[0].Close()
+			fmt.Println("!! gateway 0 failed mid-session")
+		}
+		if i == 8 {
+			_ = d.Gateways()[1].Close()
+			fmt.Println("!! gateway 1 failed mid-session")
+		}
+		r, err := c.Call("append", experiments.OctetSeqArg([]byte("+100")))
+		if err != nil {
+			return fmt.Errorf("deposit %d lost: %w", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			return fmt.Errorf("deposit %d produced op #%d: lost or duplicated", i, got)
+		}
+	}
+	st := c.Stats()
+	ops := waitOps(apps[0], deposits)
+	fmt.Printf("%d deposits acknowledged; server executed exactly %d operations\n", deposits, ops)
+	fmt.Printf("the interception layer performed %d gateway failover(s) and %d reissue(s), invisibly to the application\n",
+		st.Failovers, st.Reissues)
+	fmt.Printf("now connected to gateway: %s\n", c.Gateway())
+	return nil
+}

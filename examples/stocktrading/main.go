@@ -1,0 +1,239 @@
+// Stock trading: the paper's motivating scenario (section 1). Customers
+// with unreplicated thin clients trade against a stock exchange whose
+// servers are replicated for fault tolerance. Mid-session, one exchange
+// replica's processor crashes — and no customer notices: the surviving
+// replicas keep answering, and the Resource Manager restores the
+// replication level in the background.
+//
+// Run with: go run ./examples/stocktrading
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/domain"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/replication"
+)
+
+const (
+	exchangeGroup replication.GroupID = 100
+	exchangeKey                       = "trading/exchange"
+	exchangeType                      = "IDL:Trading/Exchange:1.0"
+)
+
+// exchange is a deterministic replicated stock exchange: a limit-free
+// order book tracking positions per customer.
+type exchange struct {
+	mu        sync.Mutex
+	positions map[string]int64 // "customer/SYMBOL" -> shares
+	trades    int64
+}
+
+func newExchange() *exchange {
+	return &exchange{positions: make(map[string]int64)}
+}
+
+func (e *exchange) Invoke(op string, args *cdr.Reader, reply *cdr.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch op {
+	case "buy", "sell":
+		customer := args.ReadString()
+		symbol := args.ReadString()
+		qty := args.ReadLongLong()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if op == "sell" {
+			qty = -qty
+		}
+		key := customer + "/" + symbol
+		e.positions[key] += qty
+		e.trades++
+		reply.WriteLongLong(e.positions[key])
+		return nil
+	case "position":
+		customer := args.ReadString()
+		symbol := args.ReadString()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		reply.WriteLongLong(e.positions[customer+"/"+symbol])
+		return nil
+	case "trades":
+		reply.WriteLongLong(e.trades)
+		return nil
+	default:
+		return fmt.Errorf("exchange: unknown operation %q", op)
+	}
+}
+
+func (e *exchange) State() ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(e.trades)
+	w.WriteULong(uint32(len(e.positions)))
+	// Deterministic order is not required for State (only one replica
+	// donates at a time), but sorted output keeps digests comparable.
+	keys := make([]string, 0, len(e.positions))
+	for k := range e.positions {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		w.WriteString(k)
+		w.WriteLongLong(e.positions[k])
+	}
+	return w.Bytes(), nil
+}
+
+func (e *exchange) SetState(state []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := cdr.NewReader(state, cdr.BigEndian)
+	e.trades = r.ReadLongLong()
+	n := r.ReadULong()
+	e.positions = make(map[string]int64, n)
+	for i := uint32(0); i < n; i++ {
+		k := r.ReadString()
+		e.positions[k] = r.ReadLongLong()
+	}
+	return r.Err()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func tradeArgs(customer, symbol string, qty int64) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteString(customer)
+	w.WriteString(symbol)
+	w.WriteLongLong(qty)
+	return w.Bytes()
+}
+
+func posArgs(customer, symbol string) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteString(customer)
+	w.WriteString(symbol)
+	return w.Bytes()
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stocktrading:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	d, err := domain.New(domain.Config{Name: "exchange", Nodes: 5})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	err = d.Manager().CreateReplicatedObject(exchangeGroup, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 3,
+		MinReplicas:     3,
+		ObjectKey:       []byte(exchangeKey),
+		TypeID:          exchangeType,
+	}, func() (replication.Application, error) { return newExchange(), nil })
+	if err != nil {
+		return err
+	}
+	// The Resource Manager watches the replication level.
+	d.Manager().Monitor(50 * time.Millisecond)
+
+	if _, err := d.AddGateway(4, ""); err != nil {
+		return err
+	}
+	ref, err := d.PublishIOR(exchangeType, []byte(exchangeKey))
+	if err != nil {
+		return err
+	}
+
+	// Three customers trade concurrently through their web-browser-like
+	// thin clients.
+	customers := []string{"alice", "bob", "carol"}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(customers))
+	for _, customer := range customers {
+		wg.Add(1)
+		go func(customer string) {
+			defer wg.Done()
+			obj, conn, err := orb.Resolve(ref)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer func() { _ = conn.Close() }()
+			for i := 0; i < 20; i++ {
+				if _, err := obj.Call("buy", tradeArgs(customer, "ETNL", 10), orb.InvokeOptions{}); err != nil {
+					errCh <- fmt.Errorf("%s trade %d: %w", customer, i, err)
+					return
+				}
+			}
+		}(customer)
+	}
+
+	// Meanwhile, a processor hosting an exchange replica crashes.
+	time.Sleep(20 * time.Millisecond)
+	victim := d.Node(0).RM.Members(exchangeGroup)[0]
+	for i := 0; i < d.Nodes(); i++ {
+		if d.Node(i).ID == victim {
+			fmt.Printf("!! crashing processor %s (hosts an exchange replica) mid-trading\n", victim)
+			d.CrashNode(i)
+			break
+		}
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	// Verify from a fresh client: every trade is accounted for.
+	obj, conn, err := orb.Resolve(ref)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	for _, customer := range customers {
+		r, err := obj.Call("position", posArgs(customer, "ETNL"), orb.InvokeOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s holds %d ETNL\n", customer, r.ReadLongLong())
+	}
+	r, err := obj.Call("trades", nil, orb.InvokeOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total trades executed: %d (expected %d; none lost, none duplicated)\n", r.ReadLongLong(), len(customers)*20)
+
+	// The Resource Manager has been replacing the lost replica; wait for
+	// the membership to settle (it can transiently overshoot while the
+	// crashed member's removal and the replacement's join race).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(d.Node(4).RM.Members(exchangeGroup)) != 3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("exchange replicas after recovery: %d (resource manager restored the minimum)\n",
+		len(d.Node(4).RM.Members(exchangeGroup)))
+	return nil
+}

@@ -1,0 +1,3 @@
+module eternalgw
+
+go 1.22

@@ -1,0 +1,42 @@
+// Package cdr implements the CORBA Common Data Representation (CDR)
+// transfer syntax used by GIOP/IIOP messages.
+//
+// CDR encodes primitive types aligned to their natural size, measured from
+// the start of the enclosing message body or encapsulation, and supports
+// both big-endian and little-endian byte orders. Encapsulations (used for
+// IOR profiles and service contexts) are octet sequences whose first octet
+// records the byte order of the encapsulated data.
+//
+// The package follows the CORBA 2.3 specification, chapter 15.3.
+package cdr
+
+// ByteOrder identifies the endianness of a CDR stream. The on-the-wire
+// encoding is a single octet: 0 for big-endian, 1 for little-endian, as
+// specified for GIOP message headers and encapsulations.
+type ByteOrder uint8
+
+const (
+	// BigEndian is the network byte order used by default.
+	BigEndian ByteOrder = 0
+	// LittleEndian is the byte order flag value 1.
+	LittleEndian ByteOrder = 1
+)
+
+// String returns the conventional name of the byte order.
+func (o ByteOrder) String() string {
+	if o == LittleEndian {
+		return "little-endian"
+	}
+	return "big-endian"
+}
+
+// align returns the number of padding bytes needed to advance pos to the
+// next multiple of n. CDR alignment is always relative to the start of the
+// stream, and n is one of 1, 2, 4, 8.
+func align(pos, n int) int {
+	r := pos % n
+	if r == 0 {
+		return 0
+	}
+	return n - r
+}

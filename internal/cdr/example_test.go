@@ -1,0 +1,40 @@
+package cdr_test
+
+import (
+	"fmt"
+
+	"eternalgw/internal/cdr"
+)
+
+// Marshal a record and read it back: writers and readers apply CORBA
+// CDR alignment automatically.
+func Example() {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteString("ETNL")
+	w.WriteULong(100)
+	w.WriteDouble(99.5)
+
+	r := cdr.NewReader(w.Bytes(), cdr.BigEndian)
+	symbol := r.ReadString()
+	qty := r.ReadULong()
+	price := r.ReadDouble()
+	if err := r.Err(); err != nil {
+		fmt.Println("decode failed:", err)
+		return
+	}
+	fmt.Printf("%s x%d @ %.2f\n", symbol, qty, price)
+	// Output: ETNL x100 @ 99.50
+}
+
+// Encapsulations carry nested CDR data with their own byte order.
+func ExampleWriter_WriteEncapsulation() {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteEncapsulation(cdr.LittleEndian, func(ew *cdr.Writer) {
+		ew.WriteString("profile-data")
+	})
+
+	r := cdr.NewReader(w.Bytes(), cdr.BigEndian)
+	inner := r.ReadEncapsulation()
+	fmt.Println(inner.Order(), inner.ReadString())
+	// Output: little-endian profile-data
+}

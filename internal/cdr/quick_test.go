@@ -1,0 +1,142 @@
+package cdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRoundTripULong property: every uint32 survives a write/read
+// round trip in both byte orders.
+func TestQuickRoundTripULong(t *testing.T) {
+	f := func(v uint32, little bool) bool {
+		order := BigEndian
+		if little {
+			order = LittleEndian
+		}
+		w := NewWriter(order)
+		w.WriteULong(v)
+		r := NewReader(w.Bytes(), order)
+		return r.ReadULong() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTripULongLong property: every uint64 survives a round trip.
+func TestQuickRoundTripULongLong(t *testing.T) {
+	f := func(v uint64, little bool) bool {
+		order := BigEndian
+		if little {
+			order = LittleEndian
+		}
+		w := NewWriter(order)
+		w.WriteULongLong(v)
+		r := NewReader(w.Bytes(), order)
+		return r.ReadULongLong() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTripOctetSeq property: arbitrary byte slices survive a
+// sequence<octet> round trip, including after a misaligning prefix.
+func TestQuickRoundTripOctetSeq(t *testing.T) {
+	f := func(prefix uint8, data []byte) bool {
+		w := NewWriter(BigEndian)
+		w.WriteOctet(prefix)
+		w.WriteOctetSeq(data)
+		r := NewReader(w.Bytes(), BigEndian)
+		if r.ReadOctet() != prefix {
+			return false
+		}
+		got := r.ReadOctetSeq()
+		return r.Err() == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTripMixed property: an interleaved record of all scalar
+// kinds round-trips in either byte order, regardless of a random prefix
+// length perturbing alignment.
+func TestQuickRoundTripMixed(t *testing.T) {
+	f := func(pad uint8, a uint16, b uint32, c uint64, d int32, s string, little bool) bool {
+		order := BigEndian
+		if little {
+			order = LittleEndian
+		}
+		w := NewWriter(order)
+		for i := 0; i < int(pad%7); i++ {
+			w.WriteOctet(0xCC)
+		}
+		w.WriteUShort(a)
+		w.WriteULong(b)
+		w.WriteULongLong(c)
+		w.WriteLong(d)
+		w.WriteString(s)
+
+		r := NewReader(w.Bytes(), order)
+		for i := 0; i < int(pad%7); i++ {
+			if r.ReadOctet() != 0xCC {
+				return false
+			}
+		}
+		return r.ReadUShort() == a &&
+			r.ReadULong() == b &&
+			r.ReadULongLong() == c &&
+			r.ReadLong() == d &&
+			r.ReadString() == s &&
+			r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecoderNeverPanics property: the reader must fail gracefully on
+// arbitrary input, never panic, and never read past the buffer.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte, little bool) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		order := BigEndian
+		if little {
+			order = LittleEndian
+		}
+		r := NewReader(data, order)
+		r.ReadString()
+		r.ReadOctetSeq()
+		r.ReadULongLong()
+		r.ReadEncapsulation()
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlignmentInvariant property: after writing any prefix, a ulong
+// always lands at a 4-aligned offset and a ulonglong at an 8-aligned one.
+func TestQuickAlignmentInvariant(t *testing.T) {
+	f := func(prefix []byte) bool {
+		w := NewWriter(BigEndian)
+		w.WriteOctets(prefix)
+		w.Align(4)
+		if w.Len()%4 != 0 {
+			return false
+		}
+		w.WriteOctet(1)
+		w.Align(8)
+		return w.Len()%8 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

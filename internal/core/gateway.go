@@ -1,0 +1,664 @@
+// Package core implements the paper's primary contribution: gateways for
+// accessing fault tolerance domains.
+//
+// A gateway is the entry point through which unreplicated IIOP clients
+// reach the replicated objects of a fault tolerance domain (paper
+// section 3). On its external side it accepts plain TCP connections and
+// speaks GIOP/IIOP, appearing to clients to be the remote server object;
+// on its internal side it is a (client-only) member of the gateway
+// object group, translating IIOP requests into totally-ordered
+// multicasts addressed to server object groups and returning a single
+// response per request, with the duplicate responses of the server
+// replicas suppressed by response identifier.
+//
+// A gateway is not a CORBA object: it is part of the fault tolerance
+// infrastructure. Several gateways form a redundant gateway group
+// (paper section 3.5): each records the requests and responses flowing
+// through any of them, so a client that fails over to another gateway
+// and reissues its pending invocations receives its responses without
+// the operations being executed twice.
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/giop"
+	"eternalgw/internal/replication"
+)
+
+// Errors reported by the gateway.
+var ErrClosed = errors.New("gateway: closed")
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// RM is this node's replication mechanisms; the gateway must already
+	// be (or become) a member of Group through it.
+	RM *replication.Mechanisms
+	// Group is the gateway object group identifier.
+	Group replication.GroupID
+	// ListenAddr is the external TCP endpoint ("host:port", empty for
+	// 127.0.0.1:0).
+	ListenAddr string
+	// InvokeTimeout bounds each forwarded invocation. Zero means 10s.
+	InvokeTimeout time.Duration
+	// ReplyCacheSize bounds the recorded-response cache used to answer
+	// reissued invocations after a gateway failover. Zero means 8192.
+	ReplyCacheSize int
+	// DisableGroupRecord turns off the section 3.5 gateway-group
+	// recording (the request record multicast and the response cache).
+	// Reissues after a failover then always travel into the domain and
+	// rely on server-side duplicate detection alone. Exists for
+	// ablation: it trades one extra multicast per request against
+	// failover work.
+	DisableGroupRecord bool
+	// Logger receives diagnostics; nil discards them.
+	Logger *log.Logger
+}
+
+// Stats snapshots gateway counters.
+type Stats struct {
+	ConnectionsAccepted   uint64
+	RequestsReceived      uint64
+	RequestsForwarded     uint64
+	RepliesReturned       uint64
+	AnsweredFromCache     uint64 // reissued invocations answered from the gateway-group record
+	ReinvocationsDetected uint64 // requests seen before by the gateway group
+	RequestsAbandoned     uint64 // received but never answered (gateway or domain failure)
+	Exceptions            uint64 // system exceptions returned to clients
+	ClientsDeparted       uint64 // departed-client notifications processed (state deleted)
+}
+
+// cacheKey identifies a recorded operation: the routing triple of paper
+// section 3.2 (server group, TCP client id) plus the operation
+// identifier.
+type cacheKey struct {
+	group    replication.GroupID
+	clientID uint64
+	op       replication.OperationID
+}
+
+// Gateway bridges external IIOP clients into a fault tolerance domain.
+type Gateway struct {
+	cfg Config
+	rm  *replication.Mechanisms
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	// counters assigns TCP client identifiers per destination server
+	// group, as in paper section 3.2.
+	counters map[replication.GroupID]uint64
+	// seen records operation keys observed by the gateway group, to
+	// detect reinvocations.
+	seen     map[cacheKey]struct{}
+	seenFIFO []cacheKey
+	// replies caches responses observed by the gateway group, so a
+	// reissued invocation can be answered by any gateway.
+	replies     map[cacheKey]giop.Reply
+	repliesFIFO []cacheKey
+	// instanceNonce distinguishes this gateway instance's counter-
+	// assigned client identifiers from any other gateway's.
+	instanceNonce uint64
+
+	wg sync.WaitGroup
+
+	connectionsAccepted   atomic.Uint64
+	requestsReceived      atomic.Uint64
+	requestsForwarded     atomic.Uint64
+	repliesReturned       atomic.Uint64
+	answeredFromCache     atomic.Uint64
+	reinvocationsDetected atomic.Uint64
+	requestsAbandoned     atomic.Uint64
+	exceptions            atomic.Uint64
+	clientsDeparted       atomic.Uint64
+}
+
+// New creates a gateway, joins the gateway group as a client-only member
+// and starts accepting external connections. The caller should wait for
+// the group membership (rm.WaitSynced) before handing the address out.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.RM == nil {
+		return nil, errors.New("gateway: config needs replication mechanisms")
+	}
+	if cfg.InvokeTimeout == 0 {
+		cfg.InvokeTimeout = 10 * time.Second
+	}
+	if cfg.ReplyCacheSize == 0 {
+		cfg.ReplyCacheSize = 8192
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	var nonce [8]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		_ = ln.Close()
+		return nil, fmt.Errorf("gateway: generating instance nonce: %w", err)
+	}
+	g := &Gateway{
+		cfg:           cfg,
+		rm:            cfg.RM,
+		ln:            ln,
+		conns:         make(map[net.Conn]struct{}),
+		counters:      make(map[replication.GroupID]uint64),
+		seen:          make(map[cacheKey]struct{}),
+		replies:       make(map[cacheKey]giop.Reply),
+		instanceNonce: binary.BigEndian.Uint64(nonce[:]) &^ counterIDBit,
+	}
+	// Join the gateway group (idempotent error if the embedding code
+	// joined already) and observe the group's traffic to build the
+	// request/response record.
+	if err := g.rm.JoinGroup(cfg.Group, nil); err != nil && !errors.Is(err, replication.ErrAlreadyMember) {
+		_ = ln.Close()
+		return nil, err
+	}
+	g.rm.SetObserver(cfg.Group, g.observe)
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the gateway's external TCP address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Host and Port of the external endpoint, for IOR construction.
+func (g *Gateway) HostPort() (string, uint16) {
+	addr, ok := g.ln.Addr().(*net.TCPAddr)
+	if !ok {
+		return "127.0.0.1", 0
+	}
+	return addr.IP.String(), uint16(addr.Port)
+}
+
+// Stats snapshots the counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		ConnectionsAccepted:   g.connectionsAccepted.Load(),
+		RequestsReceived:      g.requestsReceived.Load(),
+		RequestsForwarded:     g.requestsForwarded.Load(),
+		RepliesReturned:       g.repliesReturned.Load(),
+		AnsweredFromCache:     g.answeredFromCache.Load(),
+		ReinvocationsDetected: g.reinvocationsDetected.Load(),
+		RequestsAbandoned:     g.requestsAbandoned.Load(),
+		Exceptions:            g.exceptions.Load(),
+		ClientsDeparted:       g.clientsDeparted.Load(),
+	}
+}
+
+// Close stops accepting and severs all client connections. It models the
+// gateway process failure of paper section 3.4 as well as orderly
+// shutdown: clients with outstanding invocations observe a broken
+// connection and never learn their requests' fate.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.wg.Wait()
+		return nil
+	}
+	g.closed = true
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+
+	err := g.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	g.wg.Wait()
+	return err
+}
+
+// Shutdown closes the gateway gracefully: connected clients receive a
+// GIOP CloseConnection before their sockets are severed. Close (without
+// the notification) doubles as the abrupt process-failure model used in
+// the section 3.4/3.5 experiments.
+func (g *Gateway) Shutdown() error {
+	g.mu.Lock()
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	for _, c := range conns {
+		_ = giop.WriteMessage(c, giop.EncodeCloseConnection(cdr.BigEndian))
+	}
+	return g.Close()
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		g.conns[conn] = struct{}{}
+		g.mu.Unlock()
+		g.connectionsAccepted.Add(1)
+		g.wg.Add(1)
+		go g.serveConn(conn)
+	}
+}
+
+// clientConn is the per-TCP-client state of figure 5a: the client
+// identifiers assigned for each destination server group.
+type clientConn struct {
+	gw  *Gateway
+	nc  net.Conn
+	wmu sync.Mutex
+
+	mu        sync.Mutex
+	ids       map[replication.GroupID]uint64
+	cancelled map[uint32]bool // request ids the client cancelled
+}
+
+// serveConn handles one external client: the gateway spawned a dedicated
+// socket for it and keeps listening for further clients on the original
+// socket (paper section 3.1). When the client departs, the gateway
+// informs the other gateways so they can delete any state stored on the
+// client's behalf (section 3.5).
+func (g *Gateway) serveConn(nc net.Conn) {
+	defer g.wg.Done()
+	cc := &clientConn{gw: g, nc: nc, ids: make(map[replication.GroupID]uint64), cancelled: make(map[uint32]bool)}
+	defer func() {
+		_ = nc.Close()
+		g.mu.Lock()
+		delete(g.conns, nc)
+		g.mu.Unlock()
+		g.announceDepartures(cc)
+	}()
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	ra := giop.NewReassembler(nc, 0)
+	for {
+		msg, err := ra.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				g.logf("gateway: connection %s: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		switch msg.Header.Type {
+		case giop.MsgRequest:
+			req, err := giop.DecodeRequest(msg)
+			if err != nil {
+				g.logf("gateway: bad request from %s: %v", nc.RemoteAddr(), err)
+				cc.write(giop.EncodeMessageError(msg.Header.Order))
+				continue
+			}
+			g.requestsReceived.Add(1)
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				cc.handleRequest(msg, req)
+			}()
+		case giop.MsgLocateRequest:
+			cc.handleLocate(msg)
+		case giop.MsgCloseConn:
+			return
+		case giop.MsgCancelRequest:
+			// The invocation is already in the total order and will
+			// execute (it cannot be unsent, in CORBA or here); the
+			// client has merely declared it no longer wants the reply,
+			// so the gateway stops holding the socket for it.
+			if cr, err := giop.DecodeCancelRequest(msg); err == nil {
+				cc.mu.Lock()
+				cc.cancelled[cr.RequestID] = true
+				cc.mu.Unlock()
+			}
+		default:
+			cc.write(giop.EncodeMessageError(msg.Header.Order))
+		}
+	}
+}
+
+func (cc *clientConn) write(msg giop.Message) {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	if err := giop.WriteMessageFragmented(cc.nc, msg, 0); err != nil {
+		cc.gw.logf("gateway: write to %s: %v", cc.nc.RemoteAddr(), err)
+	}
+}
+
+// clientID returns the TCP client identifier for this connection and
+// destination group. Enhanced clients supply a unique identifier in the
+// FT_C service context (paper section 3.5); for plain ORBs the gateway
+// assigns the next value of the per-group counter (section 3.2), which
+// is what makes their requests unidentifiable across gateway failures
+// (section 3.4).
+func (cc *clientConn) clientID(group replication.GroupID, req giop.Request) uint64 {
+	if data, ok := giop.ContextByID(req.ServiceContexts, giop.FTClientContextID); ok && len(data) > 0 {
+		h := fnv.New64a()
+		_, _ = h.Write(data)
+		id := h.Sum64()
+		if id == replication.UnusedClientID {
+			id = 1
+		}
+		return id
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if id, ok := cc.ids[group]; ok {
+		return id
+	}
+	cc.gw.mu.Lock()
+	cc.gw.counters[group]++
+	// The counter is mixed with a per-gateway-instance nonce: a counter
+	// value is only meaningful to the gateway that assigned it, which is
+	// precisely the weakness of section 3.4 — a recovered or redundant
+	// gateway has no way of knowing that a reconnecting TCP client is
+	// the same client, so its resent requests become new operations.
+	id := cc.gw.counters[group] ^ cc.gw.instanceNonce | counterIDBit
+	cc.gw.mu.Unlock()
+	cc.ids[group] = id
+	return id
+}
+
+// counterIDBit marks gateway-assigned client identifiers; enhanced
+// clients' hashed identifiers occupy the rest of the space (a hash could
+// still land in the marked half, but the paper's point stands either
+// way: counter ids are only meaningful to the assigning gateway).
+const counterIDBit = uint64(1) << 63
+
+// handleRequest implements figure 5a: resolve the object key to the
+// server group, tag the request with the client and operation
+// identifiers, convey it into the fault tolerance domain, and return the
+// (first, deduplicated) response over the client's socket.
+func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request) {
+	gw := cc.gw
+	group, ok := gw.rm.GroupByKey(req.ObjectKey)
+	if !ok {
+		gw.exceptions.Add(1)
+		cc.writeReplyRaw(msg, req, giop.Reply{
+			RequestID: req.RequestID,
+			Status:    giop.ReplySystemException,
+			Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 0, 0),
+		})
+		return
+	}
+	clientID := cc.clientID(group, req)
+	op := replication.OperationID{ParentTS: 0, ChildSeq: req.RequestID}
+	key := cacheKey{group: group, clientID: clientID, op: op}
+
+	// A reissued invocation (after the client failed over from a dead
+	// gateway) may already have been answered; the gateway group's
+	// record answers it without touching the servers.
+	if rep, ok := gw.cachedReply(key); ok && !gw.cfg.DisableGroupRecord {
+		gw.answeredFromCache.Add(1)
+		if req.ResponseExpected {
+			gw.repliesReturned.Add(1)
+			cc.writeReplyRaw(msg, req, rep)
+		}
+		return
+	}
+
+	// Record the request with the whole gateway group before forwarding
+	// (paper section 3.5), so every gateway knows of it.
+	if !gw.cfg.DisableGroupRecord {
+		reqWire, err := giop.EncodeRequest(msg.Header.Order, req)
+		if err != nil {
+			gw.logf("gateway: re-encode request: %v", err)
+			return
+		}
+		record := replication.Message{
+			Header: replication.Header{
+				Kind:     replication.KindInvocation,
+				ClientID: clientID,
+				SrcGroup: gw.cfg.Group,
+				DstGroup: gw.cfg.Group, // addressed to the gateways themselves
+				Op:       op,
+			},
+			Payload: giop.Marshal(reqWire),
+		}
+		if err := gw.rm.MulticastMessage(record); err != nil {
+			gw.requestsAbandoned.Add(1)
+			return
+		}
+	}
+
+	gw.requestsForwarded.Add(1)
+	if !req.ResponseExpected {
+		// One-way request: convey it into the domain without waiting
+		// for (or ever receiving) a response.
+		wire, err := giop.EncodeRequest(req.ArgsOrder, req)
+		if err != nil {
+			gw.logf("gateway: encode one-way: %v", err)
+			return
+		}
+		if err := gw.rm.MulticastMessage(replication.Message{
+			Header: replication.Header{
+				Kind:     replication.KindInvocation,
+				ClientID: clientID,
+				SrcGroup: gw.cfg.Group,
+				DstGroup: group,
+				Op:       op,
+			},
+			Payload: giop.Marshal(wire),
+		}); err != nil {
+			gw.requestsAbandoned.Add(1)
+		}
+		return
+	}
+	rep, err := gw.rm.Invoke(gw.cfg.Group, clientID, group, op, req, gw.cfg.InvokeTimeout)
+	if err != nil {
+		gw.requestsAbandoned.Add(1)
+		gw.exceptions.Add(1)
+		if req.ResponseExpected {
+			cc.writeReplyRaw(msg, req, giop.Reply{
+				RequestID: req.RequestID,
+				Status:    giop.ReplySystemException,
+				Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/COMM_FAILURE:1.0", 0, 1),
+			})
+		}
+		return
+	}
+	if req.ResponseExpected && !cc.isCancelled(req.RequestID) {
+		gw.repliesReturned.Add(1)
+		cc.writeReplyRaw(msg, req, rep)
+	}
+}
+
+// isCancelled reports (and consumes) a cancellation for a request id.
+func (cc *clientConn) isCancelled(id uint32) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.cancelled[id] {
+		delete(cc.cancelled, id)
+		return true
+	}
+	return false
+}
+
+// writeReplyRaw re-encodes a reply in the byte order of the client's
+// request and writes it to the socket.
+func (cc *clientConn) writeReplyRaw(msg giop.Message, req giop.Request, rep giop.Reply) {
+	rep.RequestID = req.RequestID
+	out, err := giop.EncodeReplyV(msg.Header.Order, msg.Header.Minor, rep)
+	if err != nil {
+		cc.gw.logf("gateway: encode reply: %v", err)
+		return
+	}
+	cc.write(out)
+}
+
+func (cc *clientConn) handleLocate(msg giop.Message) {
+	lr, err := giop.DecodeLocateRequest(msg)
+	if err != nil {
+		return
+	}
+	status := giop.LocateUnknownObject
+	if _, ok := cc.gw.rm.GroupByKey(lr.ObjectKey); ok {
+		// The gateway claims to be the object (paper section 3.1).
+		status = giop.LocateObjectHere
+	}
+	cc.write(giop.EncodeLocateReply(msg.Header.Order, giop.LocateReply{
+		RequestID: lr.RequestID,
+		Status:    status,
+	}))
+}
+
+// announceDepartures tells the gateway group that a TCP client's
+// connection ended, one notification per client identifier the
+// connection used, so every gateway deletes the state it stored on the
+// client's behalf. Enhanced clients are exempt: their identifiers
+// outlive connections by design (that is what makes failover reissues
+// recognizable), so their records age out of the bounded caches instead.
+func (g *Gateway) announceDepartures(cc *clientConn) {
+	cc.mu.Lock()
+	ids := make([]uint64, 0, len(cc.ids))
+	for _, id := range cc.ids {
+		ids = append(ids, id)
+	}
+	cc.mu.Unlock()
+	for _, id := range ids {
+		_ = g.rm.MulticastMessage(replication.Message{
+			Header: replication.Header{
+				Kind:     replication.KindGatewayControl,
+				ClientID: id,
+				SrcGroup: g.cfg.Group,
+				DstGroup: g.cfg.Group,
+			},
+		})
+	}
+}
+
+// dropClientState deletes every record kept for a departed client.
+// Callers must not hold g.mu.
+func (g *Gateway) dropClientState(clientID uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.seenFIFO[:0]
+	for _, k := range g.seenFIFO {
+		if k.clientID == clientID {
+			delete(g.seen, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	g.seenFIFO = kept
+	keptR := g.repliesFIFO[:0]
+	for _, k := range g.repliesFIFO {
+		if k.clientID == clientID {
+			delete(g.replies, k)
+			continue
+		}
+		keptR = append(keptR, k)
+	}
+	g.repliesFIFO = keptR
+}
+
+// observe is the gateway-group observer: it records requests (to detect
+// reinvocations) and responses (to answer reissued invocations) flowing
+// through any gateway of the group. It runs on the replication event
+// loop and must not block.
+func (g *Gateway) observe(msg replication.Message, ts uint64) {
+	switch msg.Header.Kind {
+	case replication.KindGatewayControl:
+		// A client departed somewhere in the gateway group: delete the
+		// state stored on its behalf.
+		if msg.Header.ClientID != replication.UnusedClientID {
+			g.clientsDeparted.Add(1)
+			g.dropClientState(msg.Header.ClientID)
+		}
+		return
+	}
+	switch msg.Header.Kind {
+	case replication.KindInvocation:
+		// Request records are addressed to the gateway group itself.
+		if msg.Header.DstGroup != g.cfg.Group || msg.Header.ClientID == replication.UnusedClientID {
+			return
+		}
+		// The record does not name the final server group; reinvocation
+		// detection keys on (client, op) with the gateway group.
+		key := cacheKey{group: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
+		g.mu.Lock()
+		if _, ok := g.seen[key]; ok {
+			g.reinvocationsDetected.Add(1)
+		} else {
+			g.seen[key] = struct{}{}
+			g.seenFIFO = append(g.seenFIFO, key)
+			if len(g.seenFIFO) > g.cfg.ReplyCacheSize {
+				old := g.seenFIFO[0]
+				g.seenFIFO = g.seenFIFO[1:]
+				delete(g.seen, old)
+			}
+		}
+		g.mu.Unlock()
+	case replication.KindResponse:
+		if msg.Header.ClientID == replication.UnusedClientID {
+			return
+		}
+		wire, err := giop.Unmarshal(msg.Payload)
+		if err != nil {
+			return
+		}
+		rep, err := giop.DecodeReply(wire)
+		if err != nil {
+			return
+		}
+		key := cacheKey{group: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
+		g.mu.Lock()
+		if _, ok := g.replies[key]; !ok {
+			g.replies[key] = rep
+			g.repliesFIFO = append(g.repliesFIFO, key)
+			if len(g.repliesFIFO) > g.cfg.ReplyCacheSize {
+				old := g.repliesFIFO[0]
+				g.repliesFIFO = g.repliesFIFO[1:]
+				delete(g.replies, old)
+			}
+		}
+		g.mu.Unlock()
+	}
+}
+
+func (g *Gateway) cachedReply(key cacheKey) (giop.Reply, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep, ok := g.replies[key]
+	return rep, ok
+}
+
+// RecordedReplies reports how many responses the gateway currently holds
+// in its gateway-group record (diagnostics and tests).
+func (g *Gateway) RecordedReplies() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.replies)
+}
+
+// RecordedRequests reports how many request records the gateway holds.
+func (g *Gateway) RecordedRequests() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logger != nil {
+		g.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,230 @@
+package core_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/giop"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/replication"
+)
+
+// dialRawGateway opens a plain TCP connection to a fresh single-gateway
+// domain and returns it with the gateway address.
+func dialRawGateway(t *testing.T) (net.Conn, string) {
+	t.Helper()
+	d := fastDomain(t, "rb", 2)
+	deployRegister(t, d, replication.Active, 1)
+	gw, err := d.AddGateway(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := orb.DialRaw(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+	return nc, gw.Addr()
+}
+
+func TestGatewaySurvivesGarbageBytes(t *testing.T) {
+	nc, addr := dialRawGateway(t)
+	// Not a GIOP stream at all.
+	if _, err := nc.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The gateway drops this connection but keeps serving others.
+	time.Sleep(20 * time.Millisecond)
+	conn, err := orb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Call([]byte(keyRegister), "ops", nil, orb.InvokeOptions{}); err != nil {
+		t.Fatalf("gateway wedged by garbage: %v", err)
+	}
+}
+
+func TestGatewaySurvivesTruncatedHeader(t *testing.T) {
+	nc, addr := dialRawGateway(t)
+	if _, err := nc.Write([]byte("GIOP")); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc.Close() // half a header, then gone
+	conn, err := orb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Call([]byte(keyRegister), "ops", nil, orb.InvokeOptions{}); err != nil {
+		t.Fatalf("gateway wedged by truncated header: %v", err)
+	}
+}
+
+func TestGatewaySurvivesMalformedRequestBody(t *testing.T) {
+	nc, addr := dialRawGateway(t)
+	// Valid header, garbage body that fails Request decoding.
+	msg := giop.Message{
+		Header: giop.Header{Major: 1, Minor: 0, Order: cdr.BigEndian, Type: giop.MsgRequest},
+		Body:   []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3},
+	}
+	if err := giop.WriteMessage(nc, msg); err != nil {
+		t.Fatal(err)
+	}
+	// The gateway answers with MessageError (or drops the connection);
+	// either way it keeps serving.
+	time.Sleep(20 * time.Millisecond)
+	conn, err := orb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Call([]byte(keyRegister), "ops", nil, orb.InvokeOptions{}); err != nil {
+		t.Fatalf("gateway wedged by malformed body: %v", err)
+	}
+}
+
+func TestGatewaySurvivesDeclaredHugeMessage(t *testing.T) {
+	nc, addr := dialRawGateway(t)
+	// Header declaring a body near the 16 MiB cap, never delivered.
+	hdr := []byte{'G', 'I', 'O', 'P', 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := nc.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := orb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Call([]byte(keyRegister), "ops", nil, orb.InvokeOptions{}); err != nil {
+		t.Fatalf("gateway wedged by oversized declaration: %v", err)
+	}
+}
+
+func TestORBServerSurvivesGarbage(t *testing.T) {
+	s, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	s.Register([]byte("k"), orb.ServantFunc(func(string, *cdr.Reader, *cdr.Writer) error { return nil }))
+
+	nc, err := orb.DialRaw(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = nc.Write([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	_ = nc.Close()
+
+	conn, err := orb.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Call([]byte("k"), "op", nil, orb.InvokeOptions{}); err != nil {
+		t.Fatalf("server wedged by garbage: %v", err)
+	}
+}
+
+func TestGatewayShutdownNotifiesClients(t *testing.T) {
+	d := fastDomain(t, "sd", 2)
+	deployRegister(t, d, replication.Active, 1)
+	gw, err := d.AddGateway(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := orb.Dial(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Call([]byte(keyRegister), "ops", nil, orb.InvokeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// The next call must fail promptly (orderly close), not hang until
+	// the invocation timeout.
+	start := time.Now()
+	_, err = conn.Call([]byte(keyRegister), "ops", nil, orb.InvokeOptions{Timeout: 5 * time.Second})
+	if err == nil {
+		t.Fatal("call through shut-down gateway succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("close notification not honoured: failed only after %v", elapsed)
+	}
+}
+
+func TestCancelRequestSuppressesReply(t *testing.T) {
+	// CORBA CancelRequest semantics at the gateway: the operation still
+	// executes (it is already in the total order), but the client has
+	// declared it no longer wants the reply, so none is written.
+	d := fastDomain(t, "cx", 2)
+	apps := deployRegister(t, d, replication.Active, 1)
+	gw, err := d.AddGateway(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := orb.DialRaw(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = raw.Close() }()
+
+	// A slow operation, then an immediate cancel for it.
+	reqMsg, err := giop.EncodeRequest(cdr.BigEndian, giop.Request{
+		RequestID:        1,
+		ResponseExpected: true,
+		ObjectKey:        []byte(keyRegister),
+		Operation:        "work",
+		Args:             workArgs(100, []byte("w")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := giop.WriteMessage(raw, reqMsg); err != nil {
+		t.Fatal(err)
+	}
+	if err := giop.WriteMessage(raw, giop.EncodeCancelRequest(cdr.BigEndian, giop.CancelRequest{RequestID: 1})); err != nil {
+		t.Fatal(err)
+	}
+	// A second, uncancelled request on the same connection.
+	req2, err := giop.EncodeRequest(cdr.BigEndian, giop.Request{
+		RequestID:        2,
+		ResponseExpected: true,
+		ObjectKey:        []byte(keyRegister),
+		Operation:        "ops",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := giop.WriteMessage(raw, req2); err != nil {
+		t.Fatal(err)
+	}
+	// The first (and only) reply on the wire must answer request 2.
+	_ = raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := giop.ReadMessage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := giop.DecodeReply(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestID != 2 {
+		t.Fatalf("reply for request %d arrived; the cancelled reply was not suppressed", rep.RequestID)
+	}
+	// The cancelled operation still executed.
+	waitInt(t, func() int64 { return apps[0].totalOps() }, 1, "cancelled op execution")
+}
+
+// workArgs builds the RegisterApp "work" arguments.
+func workArgs(ms uint32, data []byte) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteULong(ms)
+	w.WriteOctetSeq(data)
+	return w.Bytes()
+}

@@ -1,0 +1,244 @@
+// Package domain composes the substrates of this repository into
+// runnable fault tolerance domains: a simulated network, a Totem ring, a
+// replication-mechanisms instance per processor, the management objects,
+// and any number of gateways on the domain's edge.
+//
+// A Domain is the paper's "fault tolerance domain": the domain of
+// control of one fault tolerance infrastructure (paper section 1).
+// Multiple domains, each with its own network and ring, can be bridged
+// through their gateways exactly as in figure 1: a replicated bridge
+// object inside one domain forwards invocations over TCP/IIOP to
+// another domain's gateway.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eternalgw/internal/core"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/interceptor"
+	"eternalgw/internal/ior"
+	"eternalgw/internal/memnet"
+	"eternalgw/internal/replication"
+	"eternalgw/internal/totem"
+)
+
+// DefaultGatewayGroup is the object group id gateways join unless the
+// caller chooses another.
+const DefaultGatewayGroup replication.GroupID = 1
+
+// Config parameterizes a Domain.
+type Config struct {
+	// Name identifies the domain (e.g. "new-york").
+	Name string
+	// Nodes is the number of processors in the domain.
+	Nodes int
+	// NetOptions configure the simulated network (loss, delay, seed).
+	NetOptions []memnet.Option
+	// Totem overrides protocol timeouts; zero values use totem defaults.
+	Totem totem.Config
+	// Replication overrides mechanism tuning; zero values use defaults.
+	Replication replication.Config
+	// GatewayGroup is the gateways' object group id.
+	GatewayGroup replication.GroupID
+	// GatewayInvokeTimeout bounds invocations forwarded by gateways.
+	GatewayInvokeTimeout time.Duration
+	// TransportFactory, when set, supplies each processor's network
+	// attachment instead of the simulated in-process network — e.g.
+	// udpnet endpoints for a domain running over real UDP sockets. The
+	// fault-injection helpers (CrashNode, RestartNode) act on the
+	// simulated network and therefore require the default transport.
+	TransportFactory func(id memnet.NodeID) (totem.Transport, error)
+}
+
+// Node is one processor of the domain.
+type Node struct {
+	ID    memnet.NodeID
+	Totem *totem.Node
+	RM    *replication.Mechanisms
+}
+
+// Domain is a running fault tolerance domain.
+type Domain struct {
+	Name string
+	Net  *memnet.Network
+
+	cfg      Config
+	nodes    []*Node
+	manager  *ftmgmt.Manager
+	gateways []*core.Gateway
+	gwNode   map[*core.Gateway]int
+	closed   bool
+}
+
+// New builds and starts a domain with cfg.Nodes processors.
+func New(cfg Config) (*Domain, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("domain: need at least one node")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "domain"
+	}
+	if cfg.GatewayGroup == 0 {
+		cfg.GatewayGroup = DefaultGatewayGroup
+	}
+	d := &Domain{
+		Name:   cfg.Name,
+		Net:    memnet.New(cfg.NetOptions...),
+		cfg:    cfg,
+		gwNode: make(map[*core.Gateway]int),
+	}
+	ids := make([]memnet.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = memnet.NodeID(fmt.Sprintf("%s/p%02d", cfg.Name, i))
+	}
+	for _, id := range ids {
+		var (
+			ep  totem.Transport
+			err error
+		)
+		if cfg.TransportFactory != nil {
+			ep, err = cfg.TransportFactory(id)
+		} else {
+			ep, err = d.Net.Attach(id)
+		}
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		tcfg := cfg.Totem
+		tcfg.ID = id
+		tcfg.Endpoint = ep
+		tcfg.Members = ids
+		tn, err := totem.Start(tcfg)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		rcfg := cfg.Replication
+		rcfg.Node = tn
+		rcfg.NodeID = id
+		rm, err := replication.New(rcfg)
+		if err != nil {
+			tn.Stop()
+			d.Close()
+			return nil, err
+		}
+		d.nodes = append(d.nodes, &Node{ID: id, Totem: tn, RM: rm})
+	}
+	hosts := make([]ftmgmt.Host, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		hosts = append(hosts, ftmgmt.Host{ID: n.ID, RM: n.RM})
+	}
+	d.manager = ftmgmt.NewManager(hosts...)
+	// The gateway group exists from the start so gateways can join it.
+	if err := d.nodes[0].RM.CreateGroup(cfg.GatewayGroup, replication.Active, nil); err != nil {
+		d.Close()
+		return nil, err
+	}
+	for _, n := range d.nodes {
+		if err := n.RM.WaitForGroup(cfg.GatewayGroup, 10*time.Second); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("domain %s: gateway group: %w", cfg.Name, err)
+		}
+	}
+	return d, nil
+}
+
+// Nodes returns the number of processors.
+func (d *Domain) Nodes() int { return len(d.nodes) }
+
+// Node returns processor i.
+func (d *Domain) Node(i int) *Node { return d.nodes[i] }
+
+// Manager returns the domain's management objects.
+func (d *Domain) Manager() *ftmgmt.Manager { return d.manager }
+
+// Gateways returns the domain's gateways in creation order.
+func (d *Domain) Gateways() []*core.Gateway {
+	return append([]*core.Gateway(nil), d.gateways...)
+}
+
+// AddGateway starts a gateway on processor i listening on addr (empty
+// for an ephemeral localhost port) and waits until it is a live member
+// of the gateway group.
+func (d *Domain) AddGateway(i int, addr string) (*core.Gateway, error) {
+	n := d.nodes[i]
+	gw, err := core.New(core.Config{
+		RM:            n.RM,
+		Group:         d.cfg.GatewayGroup,
+		ListenAddr:    addr,
+		InvokeTimeout: d.cfg.GatewayInvokeTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.RM.WaitSynced(d.cfg.GatewayGroup, 10*time.Second); err != nil {
+		_ = gw.Close()
+		return nil, err
+	}
+	d.gateways = append(d.gateways, gw)
+	d.gwNode[gw] = i
+	return gw, nil
+}
+
+// PublishIOR builds the reference external clients use to reach the
+// object: the interceptor's address rewriting pointed it at the
+// gateways, one profile per gateway in failover order (paper sections
+// 3.1 and 3.5).
+func (d *Domain) PublishIOR(typeID string, objectKey []byte) (ior.Ref, error) {
+	if len(d.gateways) == 0 {
+		return ior.Ref{}, errors.New("domain: no gateways to publish")
+	}
+	addrs := make([]interceptor.GatewayAddr, 0, len(d.gateways))
+	for _, gw := range d.gateways {
+		host, port := gw.HostPort()
+		addrs = append(addrs, interceptor.GatewayAddr{Host: host, Port: port})
+	}
+	ref := interceptor.StitchIOR(typeID, objectKey, addrs...)
+	// Tag the reference with the minting implementation and the domain
+	// name (ignored by readers that do not understand the components).
+	return ref.WithComponents(
+		ior.ORBTypeComponent(ior.ORBTypeEternalGW),
+		ior.FTDomainComponent(d.Name),
+	), nil
+}
+
+// CrashNode simulates a processor failure: its network endpoint goes
+// silent and any gateways it hosts drop their connections.
+func (d *Domain) CrashNode(i int) {
+	d.Net.Crash(d.nodes[i].ID)
+	for gw, idx := range d.gwNode {
+		if idx == i {
+			_ = gw.Close()
+		}
+	}
+}
+
+// RestartNode heals a crashed processor's network endpoint; its totem
+// node rejoins the ring automatically.
+func (d *Domain) RestartNode(i int) {
+	d.Net.Restart(d.nodes[i].ID)
+}
+
+// Close stops everything.
+func (d *Domain) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if d.manager != nil {
+		d.manager.Close()
+	}
+	for _, gw := range d.gateways {
+		_ = gw.Close()
+	}
+	for _, n := range d.nodes {
+		n.RM.Stop()
+	}
+	for _, n := range d.nodes {
+		n.Totem.Stop()
+	}
+}

@@ -1,0 +1,316 @@
+package domain_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/domain"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/ior"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/replication"
+	"eternalgw/internal/thinclient"
+	"eternalgw/internal/totem"
+)
+
+func fastTotem() totem.Config {
+	return totem.Config{
+		IdleHold:        100 * time.Microsecond,
+		TokenRetransmit: 10 * time.Millisecond,
+		FailTimeout:     80 * time.Millisecond,
+		GatherTimeout:   20 * time.Millisecond,
+	}
+}
+
+func newDomain(t *testing.T, name string, nodes int) *domain.Domain {
+	t.Helper()
+	d, err := domain.New(domain.Config{
+		Name:                 name,
+		Nodes:                nodes,
+		Totem:                fastTotem(),
+		GatewayInvokeTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// adderApp sums submitted values.
+type adderApp struct {
+	mu    sync.Mutex
+	total int64
+}
+
+func (a *adderApp) Invoke(op string, args *cdr.Reader, reply *cdr.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "add":
+		a.total += args.ReadLongLong()
+		reply.WriteLongLong(a.total)
+		return args.Err()
+	case "get":
+		reply.WriteLongLong(a.total)
+		return nil
+	default:
+		return fmt.Errorf("adderApp: unknown op %q", op)
+	}
+}
+
+func (a *adderApp) State() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(a.total)
+	return w.Bytes(), nil
+}
+
+func (a *adderApp) SetState(state []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := cdr.NewReader(state, cdr.BigEndian)
+	a.total = r.ReadLongLong()
+	return r.Err()
+}
+
+func int64Args(v int64) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(v)
+	return w.Bytes()
+}
+
+func TestDomainLifecycle(t *testing.T) {
+	d := newDomain(t, "ny", 3)
+	if d.Nodes() != 3 {
+		t.Fatalf("nodes = %d", d.Nodes())
+	}
+	if _, err := d.PublishIOR("IDL:X:1.0", []byte("k")); err == nil {
+		t.Fatal("PublishIOR succeeded with no gateways")
+	}
+	if _, err := d.AddGateway(0, ""); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := d.PublishIOR("IDL:X:1.0", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.PrimaryProfile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashAndRestartNode(t *testing.T) {
+	d := newDomain(t, "ny", 3)
+	const grp replication.GroupID = 60
+	err := d.Manager().CreateReplicatedObject(grp, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 3,
+		MinReplicas:     1,
+		ObjectKey:       []byte("svc/adder"),
+	}, func() (replication.Application, error) { return &adderApp{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CrashNode(1)
+	// Survivors drop the crashed member.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(d.Node(0).RM.Members(grp)) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("members = %v", d.Node(0).RM.Members(grp))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.RestartNode(1)
+	// The node's ring membership heals (its replicas are gone until the
+	// resource manager replaces them, which is exercised in ftmgmt).
+	deadline = time.Now().Add(5 * time.Second)
+	for len(d.Node(0).Totem.Members()) != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ring = %v", d.Node(0).Totem.Members())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMultiDomainBridging reproduces figure 1: a customer's unreplicated
+// client in Santa Barbara invokes, through the Los Angeles domain's
+// gateway, a bridge object in LA that forwards to the New York domain's
+// gateway, behind which the actual replicated server runs.
+func TestMultiDomainBridging(t *testing.T) {
+	ny := newDomain(t, "new-york", 3)
+	la := newDomain(t, "los-angeles", 3)
+
+	// New York hosts the replicated server.
+	const nyGrp replication.GroupID = 70
+	serverKey := []byte("trading/exchange")
+	err := ny.Manager().CreateReplicatedObject(nyGrp, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 2,
+		MinReplicas:     1,
+		ObjectKey:       serverKey,
+	}, func() (replication.Application, error) { return &adderApp{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ny.AddGateway(2, ""); err != nil {
+		t.Fatal(err)
+	}
+	nyRef, err := ny.PublishIOR("IDL:Trading/Exchange:1.0", serverKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Los Angeles hosts a replicated bridge to New York.
+	const laGrp replication.GroupID = 71
+	bridgeKey := []byte("bridge/to-ny")
+	err = la.Manager().CreateReplicatedObject(laGrp, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 2,
+		MinReplicas:     1,
+		ObjectKey:       bridgeKey,
+	}, func() (replication.Application, error) {
+		return domain.NewBridgeApp(nyRef, []byte("la-bridge-01"), 5*time.Second), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := la.AddGateway(2, ""); err != nil {
+		t.Fatal(err)
+	}
+	laRef, err := la.PublishIOR("IDL:Trading/Exchange:1.0", bridgeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Santa Barbara customer: a plain unreplicated IIOP client that
+	// knows only the LA reference.
+	obj, conn, err := orb.Resolve(laRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	for i := 1; i <= 5; i++ {
+		r, err := obj.Call("add", int64Args(10), orb.InvokeOptions{})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i*10) {
+			t.Fatalf("call %d = %d, want %d (lost or duplicated across domains)", i, got, i*10)
+		}
+	}
+}
+
+func TestBridgeSurvivesRemoteGatewayFailover(t *testing.T) {
+	ny := newDomain(t, "ny", 3)
+	la := newDomain(t, "la", 2)
+
+	const nyGrp replication.GroupID = 80
+	serverKey := []byte("svc/adder")
+	err := ny.Manager().CreateReplicatedObject(nyGrp, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 2,
+		MinReplicas:     1,
+		ObjectKey:       serverKey,
+	}, func() (replication.Application, error) { return &adderApp{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two redundant NY gateways.
+	if _, err := ny.AddGateway(0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ny.AddGateway(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	nyRef, err := ny.PublishIOR("IDL:X:1.0", serverKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bridge := domain.NewBridgeApp(nyRef, []byte("bridge-x"), 2*time.Second)
+	defer bridge.Close()
+	const laGrp replication.GroupID = 81
+	if err := la.Node(0).RM.CreateGroup(laGrp, replication.Active, []byte("bridge/x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Node(0).RM.WaitForGroup(laGrp, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Node(0).RM.JoinGroup(laGrp, bridge); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Node(0).RM.WaitSynced(laGrp, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := la.AddGateway(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	laRef, err := la.PublishIOR("IDL:X:1.0", []byte("bridge/x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := thinclient.Dial(laRef, thinclient.Config{CallTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	for i := 1; i <= 6; i++ {
+		if i == 3 {
+			// The NY gateway the bridge is connected to dies; the
+			// bridge's enhanced client lets it fail over without
+			// duplicating operations.
+			_ = ny.Gateways()[0].Close()
+		}
+		r, err := c.Call("add", int64Args(1))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			t.Fatalf("call %d = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestDomainConfigValidation(t *testing.T) {
+	if _, err := domain.New(domain.Config{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestBridgeAppStateIsEmpty(t *testing.T) {
+	b := domain.NewBridgeApp(ior.New("IDL:X:1.0", ior.IIOPProfile{Host: "h", Port: 1}), nil, 0)
+	st, err := b.State()
+	if err != nil || st != nil {
+		t.Fatalf("state = %v, %v", st, err)
+	}
+	if err := b.SetState(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishedIORCarriesDomainComponents(t *testing.T) {
+	d := newDomain(t, "tagged", 2)
+	if _, err := d.AddGateway(0, ""); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := d.PublishIOR("IDL:X:1.0", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ior.Parse(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := parsed.ORBType(); !ok || v != ior.ORBTypeEternalGW {
+		t.Fatalf("orb type = %#x, %v", v, ok)
+	}
+	if name, ok := parsed.FTDomain(); !ok || name != "tagged" {
+		t.Fatalf("domain tag = %q, %v", name, ok)
+	}
+}

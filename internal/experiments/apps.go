@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/domain"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/replication"
+)
+
+// RegisterApp is the deterministic workload object used by most
+// experiments: a byte register with an operation counter. It is exported
+// so examples and benchmarks can reuse it.
+type RegisterApp struct {
+	mu    sync.Mutex
+	value []byte
+	ops   int64
+}
+
+// Invoke implements replication.Application.
+func (a *RegisterApp) Invoke(op string, args *cdr.Reader, reply *cdr.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "set":
+		a.value = append(a.value[:0], args.ReadOctetSeq()...)
+		a.ops++
+		reply.WriteLongLong(a.ops)
+		return args.Err()
+	case "append":
+		a.value = append(a.value, args.ReadOctetSeq()...)
+		a.ops++
+		reply.WriteLongLong(a.ops)
+		return args.Err()
+	case "echo":
+		a.ops++
+		reply.WriteOctetSeq(args.ReadOctetSeq())
+		return args.Err()
+	case "work":
+		// Sleep the given number of milliseconds, then append. Used to
+		// hold an invocation "inside" the domain while faults are
+		// injected; the delay is identical at every replica, so
+		// determinism is preserved.
+		ms := args.ReadULong()
+		data := args.ReadOctetSeq()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		a.mu.Unlock()
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		a.mu.Lock()
+		a.value = append(a.value, data...)
+		a.ops++
+		reply.WriteLongLong(a.ops)
+		return nil
+	case "read":
+		reply.WriteOctetSeq(a.value)
+		return nil
+	case "ops":
+		reply.WriteLongLong(a.ops)
+		return nil
+	default:
+		return fmt.Errorf("RegisterApp: unknown operation %q", op)
+	}
+}
+
+// State implements replication.Application.
+func (a *RegisterApp) State() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(a.ops)
+	w.WriteOctetSeq(a.value)
+	return w.Bytes(), nil
+}
+
+// SetState implements replication.Application.
+func (a *RegisterApp) SetState(state []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := cdr.NewReader(state, cdr.BigEndian)
+	a.ops = r.ReadLongLong()
+	a.value = append(a.value[:0], r.ReadOctetSeq()...)
+	return r.Err()
+}
+
+// Ops returns the executed-operation count.
+func (a *RegisterApp) Ops() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ops
+}
+
+// Value returns a copy of the register contents.
+func (a *RegisterApp) Value() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]byte(nil), a.value...)
+}
+
+// WorkArg CDR-encodes the arguments of the "work" operation: a sleep in
+// milliseconds followed by the bytes to append.
+func WorkArg(ms uint32, data []byte) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteULong(ms)
+	w.WriteOctetSeq(data)
+	return w.Bytes()
+}
+
+// OctetSeqArg CDR-encodes a sequence<octet> argument.
+func OctetSeqArg(b []byte) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctetSeq(b)
+	return w.Bytes()
+}
+
+// deployRegisters places a replicated RegisterApp and returns the
+// replica instances.
+func deployRegisters(d *domain.Domain, grp replication.GroupID, key string, style replication.Style, replicas int) ([]*RegisterApp, error) {
+	var (
+		mu   sync.Mutex
+		apps []*RegisterApp
+	)
+	err := d.Manager().CreateReplicatedObject(grp, ftmgmt.Properties{
+		Style:           style,
+		InitialReplicas: replicas,
+		MinReplicas:     replicas,
+		ObjectKey:       []byte(key),
+		TypeID:          "IDL:eternalgw/Register:1.0",
+	}, func() (replication.Application, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		app := &RegisterApp{}
+		apps = append(apps, app)
+		return app, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return apps, nil
+}

@@ -1,0 +1,338 @@
+// Package ftmgmt implements the management objects of the Eternal fault
+// tolerance infrastructure (paper section 2, figure 2):
+//
+//   - the Replication Manager, which replicates each application object
+//     according to its user-specified fault tolerance properties
+//     (replication style, initial and minimum numbers of replicas) and
+//     distributes the replicas across the processors of the domain;
+//   - the Resource Manager, which monitors the domain and maintains the
+//     minimum number of replicas by starting replacements after failures;
+//   - the Evolution Manager, which exploits replication to upgrade
+//     application objects without taking them down.
+//
+// In the original system these managers are themselves replicated CORBA
+// objects invoked through the infrastructure; here they run as a library
+// driving the per-node replication mechanisms directly, which preserves
+// their observable behaviour (placement, replacement, live upgrade) at
+// laptop scale (see DESIGN.md section 2).
+package ftmgmt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"eternalgw/internal/memnet"
+	"eternalgw/internal/replication"
+)
+
+// Errors reported by the managers.
+var (
+	ErrNoHosts      = errors.New("ftmgmt: no hosts available")
+	ErrUnknownGroup = errors.New("ftmgmt: group not managed")
+	ErrBadProps     = errors.New("ftmgmt: invalid fault tolerance properties")
+)
+
+// Properties are the user-specified fault tolerance properties of one
+// replicated object.
+type Properties struct {
+	Style replication.Style
+	// InitialReplicas is the number of replicas created up front.
+	InitialReplicas int
+	// MinReplicas is the floor the Resource Manager maintains.
+	MinReplicas int
+	// ObjectKey is the CORBA object key clients embed in requests.
+	ObjectKey []byte
+	// TypeID is the repository id used when publishing IORs.
+	TypeID string
+}
+
+// Factory creates a fresh application instance for a replica.
+type Factory func() (replication.Application, error)
+
+// Host is one processor available for replica placement.
+type Host struct {
+	ID memnet.NodeID
+	RM *replication.Mechanisms
+}
+
+// managedGroup records what the managers know about one group.
+type managedGroup struct {
+	id      replication.GroupID
+	props   Properties
+	factory Factory
+}
+
+// Manager combines the Replication, Resource and Evolution Managers for
+// one fault tolerance domain.
+type Manager struct {
+	mu     sync.Mutex
+	hosts  []Host
+	groups map[replication.GroupID]*managedGroup
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	syncTimeout time.Duration
+}
+
+// NewManager creates a manager over the given hosts.
+func NewManager(hosts ...Host) *Manager {
+	m := &Manager{
+		hosts:       append([]Host(nil), hosts...),
+		groups:      make(map[replication.GroupID]*managedGroup),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		syncTimeout: 10 * time.Second,
+	}
+	close(m.done) // no monitor running yet
+	return m
+}
+
+// AddHost makes a processor available for placement.
+func (m *Manager) AddHost(h Host) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.hosts {
+		if existing.ID == h.ID {
+			return
+		}
+	}
+	m.hosts = append(m.hosts, h)
+}
+
+// RemoveHost withdraws a processor from placement decisions (it does not
+// stop replicas already running there).
+func (m *Manager) RemoveHost(id memnet.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.hosts[:0]
+	for _, h := range m.hosts {
+		if h.ID != id {
+			kept = append(kept, h)
+		}
+	}
+	m.hosts = kept
+}
+
+// anyRM returns some host's mechanisms for domain-wide queries.
+func (m *Manager) anyRM() (*replication.Mechanisms, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.hosts) == 0 {
+		return nil, ErrNoHosts
+	}
+	return m.hosts[0].RM, nil
+}
+
+// load counts replicas placed on each host across managed groups.
+func (m *Manager) load() map[memnet.NodeID]int {
+	out := make(map[memnet.NodeID]int)
+	rm, err := m.anyRM()
+	if err != nil {
+		return out
+	}
+	m.mu.Lock()
+	ids := make([]replication.GroupID, 0, len(m.groups))
+	for id := range m.groups {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	for _, id := range ids {
+		for _, node := range rm.Members(id) {
+			out[node]++
+		}
+	}
+	return out
+}
+
+// placement returns hosts ordered by ascending load (ties by id),
+// excluding the given members.
+func (m *Manager) placement(exclude map[memnet.NodeID]bool) []Host {
+	loads := m.load()
+	m.mu.Lock()
+	hosts := append([]Host(nil), m.hosts...)
+	m.mu.Unlock()
+	var out []Host
+	for _, h := range hosts {
+		if !exclude[h.ID] {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if loads[out[i].ID] != loads[out[j].ID] {
+			return loads[out[i].ID] < loads[out[j].ID]
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// CreateReplicatedObject is the Replication Manager's entry point: it
+// creates the object group and places the initial replicas on the least
+// loaded processors, waiting for each to synchronize.
+func (m *Manager) CreateReplicatedObject(id replication.GroupID, props Properties, factory Factory) error {
+	if props.InitialReplicas <= 0 || props.MinReplicas < 0 || props.MinReplicas > props.InitialReplicas {
+		return fmt.Errorf("%w: initial=%d min=%d", ErrBadProps, props.InitialReplicas, props.MinReplicas)
+	}
+	rm, err := m.anyRM()
+	if err != nil {
+		return err
+	}
+	if err := rm.CreateGroup(id, props.Style, props.ObjectKey); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.groups[id] = &managedGroup{id: id, props: props, factory: factory}
+	hostCount := len(m.hosts)
+	m.mu.Unlock()
+	if props.InitialReplicas > hostCount {
+		return fmt.Errorf("%w: need %d hosts, have %d", ErrNoHosts, props.InitialReplicas, hostCount)
+	}
+	if err := rm.WaitForGroup(id, m.syncTimeout); err != nil {
+		return err
+	}
+	for i := 0; i < props.InitialReplicas; i++ {
+		if err := m.placeOne(id, factory); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// placeOne starts one replica of the group on the least loaded host that
+// does not already have one.
+func (m *Manager) placeOne(id replication.GroupID, factory Factory) error {
+	rm, err := m.anyRM()
+	if err != nil {
+		return err
+	}
+	exclude := make(map[memnet.NodeID]bool)
+	for _, node := range rm.Members(id) {
+		exclude[node] = true
+	}
+	for _, h := range m.placement(exclude) {
+		app, err := factory()
+		if err != nil {
+			return fmt.Errorf("ftmgmt: factory for group %d: %w", id, err)
+		}
+		if err := h.RM.JoinGroup(id, app); err != nil {
+			continue // e.g. a racing join; try the next host
+		}
+		if err := h.RM.WaitSynced(id, m.syncTimeout); err != nil {
+			return fmt.Errorf("ftmgmt: replica of group %d on %s: %w", id, h.ID, err)
+		}
+		return nil
+	}
+	return ErrNoHosts
+}
+
+// Monitor starts the Resource Manager loop: every interval it compares
+// each managed group's live membership with its minimum and starts
+// replacement replicas as needed. Stop it with Close.
+func (m *Manager) Monitor(interval time.Duration) {
+	m.stopOnce = sync.Once{}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				m.reconcile()
+			}
+		}
+	}()
+}
+
+// reconcile performs one Resource Manager pass.
+func (m *Manager) reconcile() {
+	m.mu.Lock()
+	groups := make([]*managedGroup, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.mu.Unlock()
+	rm, err := m.anyRM()
+	if err != nil {
+		return
+	}
+	for _, g := range groups {
+		for len(rm.Members(g.id)) < g.props.MinReplicas {
+			if err := m.placeOne(g.id, g.factory); err != nil {
+				break // no host available now; retry next tick
+			}
+		}
+	}
+}
+
+// Upgrade is the Evolution Manager's entry point: it replaces every
+// replica of the group with instances from the new factory, one at a
+// time, exploiting state transfer so the object stays available and its
+// state carries over. The new application must accept the old
+// application's state encoding.
+func (m *Manager) Upgrade(id replication.GroupID, factory Factory) error {
+	m.mu.Lock()
+	g, ok := m.groups[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("group %d: %w", id, ErrUnknownGroup)
+	}
+	g.factory = factory
+	m.mu.Unlock()
+
+	rm, err := m.anyRM()
+	if err != nil {
+		return err
+	}
+	old := rm.Members(id)
+	if len(old) == 0 {
+		return fmt.Errorf("group %d: %w: no live replicas to upgrade", id, ErrUnknownGroup)
+	}
+	hostByID := make(map[memnet.NodeID]Host)
+	m.mu.Lock()
+	for _, h := range m.hosts {
+		hostByID[h.ID] = h
+	}
+	m.mu.Unlock()
+
+	for _, node := range old {
+		// Start the upgraded replica first so the group never shrinks
+		// below its pre-upgrade size, then retire the old one.
+		if err := m.placeOne(id, factory); err != nil {
+			return fmt.Errorf("ftmgmt: upgrade group %d: place: %w", id, err)
+		}
+		h, ok := hostByID[node]
+		if !ok {
+			continue // host withdrew; its replica is already gone
+		}
+		if err := h.RM.LeaveGroup(id); err != nil {
+			return fmt.Errorf("ftmgmt: upgrade group %d: retire %s: %w", id, node, err)
+		}
+	}
+	return nil
+}
+
+// Properties returns the managed properties of a group.
+func (m *Manager) Properties(id replication.GroupID) (Properties, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[id]
+	if !ok {
+		return Properties{}, false
+	}
+	return g.props, true
+}
+
+// Close stops the Resource Manager loop.
+func (m *Manager) Close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}

@@ -1,0 +1,269 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"eternalgw/internal/cdr"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		h := Header{Major: 1, Minor: 0, Order: order, Type: MsgReply, Size: 1234}
+		enc := encodeHeader(h)
+		if len(enc) != HeaderSize {
+			t.Fatalf("header size %d", len(enc))
+		}
+		got, err := parseHeader([12]byte(enc))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got != h {
+			t.Errorf("round trip %+v != %+v", got, h)
+		}
+	}
+}
+
+func TestParseHeaderRejectsBadMagic(t *testing.T) {
+	var hdr [12]byte
+	copy(hdr[:], "JUNK")
+	if _, err := parseHeader(hdr); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestParseHeaderRejectsBadVersion(t *testing.T) {
+	var hdr [12]byte
+	copy(hdr[:], "GIOP")
+	hdr[4], hdr[5] = 2, 0
+	if _, err := parseHeader(hdr); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestParseHeaderRejectsHugeSize(t *testing.T) {
+	var hdr [12]byte
+	copy(hdr[:], "GIOP")
+	hdr[4], hdr[5] = 1, 0
+	hdr[8], hdr[9], hdr[10], hdr[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := parseHeader(hdr); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	args := cdr.NewWriter(cdr.BigEndian)
+	args.WriteString("buy")
+	args.WriteULong(100)
+
+	req := Request{
+		ServiceContexts: []ServiceContext{
+			{ID: FTClientContextID, Data: []byte("client-7")},
+			{ID: 1, Data: []byte{9, 9}},
+		},
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        []byte("trading/GOOG"),
+		Operation:        "buy_shares",
+		Principal:        []byte("nobody"),
+		Args:             args.Bytes(),
+	}
+	msg, err := EncodeRequest(cdr.BigEndian, req)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeRequest(msg)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.RequestID != 42 || !got.ResponseExpected {
+		t.Errorf("id/expected = %d/%v", got.RequestID, got.ResponseExpected)
+	}
+	if string(got.ObjectKey) != "trading/GOOG" {
+		t.Errorf("object key = %q", got.ObjectKey)
+	}
+	if got.Operation != "buy_shares" {
+		t.Errorf("operation = %q", got.Operation)
+	}
+	if string(got.Principal) != "nobody" {
+		t.Errorf("principal = %q", got.Principal)
+	}
+	if len(got.ServiceContexts) != 2 {
+		t.Fatalf("contexts = %d", len(got.ServiceContexts))
+	}
+	if data, ok := ContextByID(got.ServiceContexts, FTClientContextID); !ok || string(data) != "client-7" {
+		t.Errorf("FT context = %q, %v", data, ok)
+	}
+	ar := cdr.NewReader(got.Args, got.ArgsOrder)
+	if s := ar.ReadString(); s != "buy" {
+		t.Errorf("arg string = %q", s)
+	}
+	if n := ar.ReadULong(); n != 100 {
+		t.Errorf("arg ulong = %d", n)
+	}
+	if ar.Err() != nil {
+		t.Fatalf("arg decode: %v", ar.Err())
+	}
+}
+
+func TestRequestRoundTripLittleEndian(t *testing.T) {
+	req := Request{RequestID: 7, ResponseExpected: false, ObjectKey: []byte{1}, Operation: "ping"}
+	msg, err := EncodeRequest(cdr.LittleEndian, req)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeRequest(msg)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.RequestID != 7 || got.ResponseExpected || got.Operation != "ping" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	res := cdr.NewWriter(cdr.BigEndian)
+	res.WriteDouble(99.5)
+	rep := Reply{
+		RequestID: 42,
+		Status:    ReplyNoException,
+		Result:    res.Bytes(),
+	}
+	msg, err := EncodeReply(cdr.BigEndian, rep)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeReply(msg)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.RequestID != 42 || got.Status != ReplyNoException {
+		t.Errorf("got %+v", got)
+	}
+	rr := cdr.NewReader(got.Result, got.ResultOrder)
+	if v := rr.ReadDouble(); v != 99.5 || rr.Err() != nil {
+		t.Errorf("result = %v, err %v", v, rr.Err())
+	}
+}
+
+func TestSystemExceptionRoundTrip(t *testing.T) {
+	body := SystemExceptionBody(cdr.BigEndian, "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 1, 0)
+	rep := Reply{RequestID: 9, Status: ReplySystemException, Result: body}
+	msg, err := EncodeReply(cdr.BigEndian, rep)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeReply(msg)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	id, minor, completed, err := DecodeSystemException(got.Result, got.ResultOrder)
+	if err != nil {
+		t.Fatalf("decode exception: %v", err)
+	}
+	if id != "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0" || minor != 1 || completed != 0 {
+		t.Errorf("got %q %d %d", id, minor, completed)
+	}
+}
+
+func TestCancelAndLocateRoundTrips(t *testing.T) {
+	c, err := DecodeCancelRequest(EncodeCancelRequest(cdr.BigEndian, CancelRequest{RequestID: 5}))
+	if err != nil || c.RequestID != 5 {
+		t.Errorf("cancel: %+v, %v", c, err)
+	}
+	lr, err := DecodeLocateRequest(EncodeLocateRequest(cdr.LittleEndian, LocateRequest{RequestID: 6, ObjectKey: []byte("k")}))
+	if err != nil || lr.RequestID != 6 || string(lr.ObjectKey) != "k" {
+		t.Errorf("locate request: %+v, %v", lr, err)
+	}
+	lp, err := DecodeLocateReply(EncodeLocateReply(cdr.BigEndian, LocateReply{RequestID: 6, Status: LocateObjectHere}))
+	if err != nil || lp.Status != LocateObjectHere {
+		t.Errorf("locate reply: %+v, %v", lp, err)
+	}
+}
+
+func TestReadWriteMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{RequestID: 1, Operation: "op", ObjectKey: []byte("x"), ResponseExpected: true}
+	msg, err := EncodeRequest(cdr.BigEndian, req)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := WriteMessage(&buf, msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := WriteMessage(&buf, EncodeCloseConnection(cdr.BigEndian)); err != nil {
+		t.Fatalf("write close: %v", err)
+	}
+
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Header.Type != MsgRequest {
+		t.Errorf("type = %v", got.Header.Type)
+	}
+	dec, err := DecodeRequest(got)
+	if err != nil || dec.Operation != "op" {
+		t.Errorf("decode: %+v, %v", dec, err)
+	}
+	got, err = ReadMessage(&buf)
+	if err != nil || got.Header.Type != MsgCloseConn {
+		t.Errorf("close: %+v, %v", got.Header, err)
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadMessageTruncatedBody(t *testing.T) {
+	msg, err := EncodeRequest(cdr.BigEndian, Request{RequestID: 1, Operation: "op"})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	wire := Marshal(msg)
+	_, err = ReadMessage(bytes.NewReader(wire[:len(wire)-3]))
+	if err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	msg := EncodeCancelRequest(cdr.LittleEndian, CancelRequest{RequestID: 77})
+	wire := Marshal(msg)
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	c, err := DecodeCancelRequest(got)
+	if err != nil || c.RequestID != 77 {
+		t.Errorf("cancel = %+v, %v", c, err)
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	if _, err := Unmarshal([]byte("GIO")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDecodeRequestWrongType(t *testing.T) {
+	msg := EncodeCloseConnection(cdr.BigEndian)
+	if _, err := DecodeRequest(msg); err == nil {
+		t.Fatal("expected type mismatch error")
+	}
+	if _, err := DecodeReply(msg); err == nil {
+		t.Fatal("expected type mismatch error")
+	}
+}
+
+func TestServiceContextTruncationFailsCleanly(t *testing.T) {
+	// Declare 100 service contexts but provide none.
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteULong(100)
+	msg := Message{Header: Header{Major: 1, Minor: 0, Order: cdr.BigEndian, Type: MsgRequest}, Body: w.Bytes()}
+	if _, err := DecodeRequest(msg); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

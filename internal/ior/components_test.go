@@ -1,0 +1,70 @@
+package ior
+
+import (
+	"testing"
+)
+
+func TestComponentsRoundTrip(t *testing.T) {
+	base := New("IDL:X:1.0", IIOPProfile{Host: "gw", Port: 1, ObjectKey: []byte("k")})
+	ref := base.WithComponents(
+		ORBTypeComponent(ORBTypeEternalGW),
+		FTDomainComponent("new-york"),
+	)
+	// Survives stringification.
+	parsed, err := Parse(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := parsed.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("components = %d", len(cs))
+	}
+	if v, ok := parsed.ORBType(); !ok || v != ORBTypeEternalGW {
+		t.Fatalf("orb type = %#x, %v", v, ok)
+	}
+	if name, ok := parsed.FTDomain(); !ok || name != "new-york" {
+		t.Fatalf("ft domain = %q, %v", name, ok)
+	}
+	// The IIOP profile is untouched.
+	p, err := parsed.PrimaryProfile()
+	if err != nil || p.Host != "gw" {
+		t.Fatalf("profile = %+v, %v", p, err)
+	}
+}
+
+func TestComponentsAbsent(t *testing.T) {
+	ref := New("IDL:X:1.0", IIOPProfile{Host: "h", Port: 1})
+	cs, err := ref.Components()
+	if err != nil || len(cs) != 0 {
+		t.Fatalf("components = %v, %v", cs, err)
+	}
+	if _, ok := ref.ORBType(); ok {
+		t.Fatal("phantom orb type")
+	}
+	if _, ok := ref.FTDomain(); ok {
+		t.Fatal("phantom ft domain")
+	}
+}
+
+func TestUnknownComponentsIgnored(t *testing.T) {
+	ref := New("IDL:X:1.0", IIOPProfile{Host: "h", Port: 1}).WithComponents(
+		Component{Tag: 0x7777, Data: []byte{1, 2, 3}},
+		FTDomainComponent("la"),
+	)
+	if name, ok := ref.FTDomain(); !ok || name != "la" {
+		t.Fatalf("ft domain = %q, %v", name, ok)
+	}
+	if _, ok := ref.ORBType(); ok {
+		t.Fatal("phantom orb type among unknown components")
+	}
+}
+
+func TestMalformedComponentsProfile(t *testing.T) {
+	ref := Ref{TypeID: "IDL:X:1.0", Profiles: []TaggedProfile{{Tag: TagMultipleComponents, Data: nil}}}
+	if _, err := ref.Components(); err == nil {
+		t.Fatal("empty components profile accepted")
+	}
+}

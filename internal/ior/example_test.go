@@ -1,0 +1,30 @@
+package ior_test
+
+import (
+	"fmt"
+
+	"eternalgw/internal/ior"
+)
+
+// Build, stringify and re-parse a multi-profile reference: the form the
+// Eternal interceptor publishes for redundant gateways.
+func Example() {
+	ref := ior.NewMulti("IDL:Trading/Exchange:1.0",
+		ior.IIOPProfile{Host: "gw1.example", Port: 9021, ObjectKey: []byte("exchange")},
+		ior.IIOPProfile{Host: "gw2.example", Port: 9021, ObjectKey: []byte("exchange")},
+	)
+	parsed, err := ior.Parse(ref.String())
+	if err != nil {
+		fmt.Println("parse failed:", err)
+		return
+	}
+	profiles, _ := parsed.IIOPProfiles()
+	fmt.Println(parsed.TypeID)
+	for i, p := range profiles {
+		fmt.Printf("profile %d: %s key=%s\n", i, p.Addr(), p.ObjectKey)
+	}
+	// Output:
+	// IDL:Trading/Exchange:1.0
+	// profile 0: gw1.example:9021 key=exchange
+	// profile 1: gw2.example:9021 key=exchange
+}

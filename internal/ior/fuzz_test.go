@@ -1,0 +1,25 @@
+package ior
+
+import "testing"
+
+// FuzzParse feeds arbitrary strings through the stringified-IOR parser
+// and profile decoder.
+func FuzzParse(f *testing.F) {
+	good := NewMulti("IDL:X:1.0",
+		IIOPProfile{Host: "a", Port: 1, ObjectKey: []byte("k")},
+		IIOPProfile{Host: "b", Port: 2, ObjectKey: []byte("k")},
+	).String()
+	f.Add(good)
+	f.Add("IOR:")
+	f.Add("IOR:00")
+	f.Add("not an ior")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		ref, err := Parse(s)
+		if err != nil {
+			return
+		}
+		_, _ = ref.IIOPProfiles()
+		_ = ref.String()
+	})
+}

@@ -1,0 +1,206 @@
+// Package ior implements CORBA Interoperable Object References (IORs),
+// including IIOP profiles, multi-profile IORs for redundant gateways
+// (paper section 3.5), and the standard "IOR:<hex>" stringified form.
+package ior
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"eternalgw/internal/cdr"
+)
+
+// Profile tags from the CORBA specification.
+const (
+	// TagInternetIOP identifies an IIOP profile (TAG_INTERNET_IOP).
+	TagInternetIOP uint32 = 0
+	// TagMultipleComponents identifies a multiple-components profile.
+	TagMultipleComponents uint32 = 1
+)
+
+// Errors reported by the package.
+var (
+	ErrNotIOR       = errors.New("ior: string does not begin with \"IOR:\"")
+	ErrNoIIOP       = errors.New("ior: no IIOP profile present")
+	ErrOddHexLength = errors.New("ior: stringified form has odd hex length")
+)
+
+// IIOPProfile is the addressing information of one TAG_INTERNET_IOP
+// profile: the endpoint an unreplicated client connects to (which, inside
+// a fault tolerance domain, the interceptor points at a gateway rather
+// than at the real server) and the object key identifying the target.
+type IIOPProfile struct {
+	Major, Minor byte
+	Host         string
+	Port         uint16
+	ObjectKey    []byte
+}
+
+// Addr returns the profile's host:port endpoint.
+func (p IIOPProfile) Addr() string {
+	return net.JoinHostPort(p.Host, strconv.Itoa(int(p.Port)))
+}
+
+// TaggedProfile is a raw profile entry: a tag and its encapsulated data.
+type TaggedProfile struct {
+	Tag  uint32
+	Data []byte
+}
+
+// Ref is an object reference: a repository type id plus one or more
+// tagged profiles. The paper's enhanced clients traverse the IIOP
+// profiles in order, failing over to the next gateway when one dies.
+type Ref struct {
+	TypeID   string
+	Profiles []TaggedProfile
+}
+
+// New builds a Ref with a single IIOP profile.
+func New(typeID string, p IIOPProfile) Ref {
+	return Ref{TypeID: typeID, Profiles: []TaggedProfile{encodeIIOPProfile(p)}}
+}
+
+// NewMulti builds a Ref whose IIOP profiles list each endpoint in order.
+// This is the multi-profile IOR that the Eternal interceptor "stitches"
+// together so clients can reach any of the redundant gateways.
+func NewMulti(typeID string, profiles ...IIOPProfile) Ref {
+	r := Ref{TypeID: typeID, Profiles: make([]TaggedProfile, 0, len(profiles))}
+	for _, p := range profiles {
+		r.Profiles = append(r.Profiles, encodeIIOPProfile(p))
+	}
+	return r
+}
+
+// IIOPProfiles decodes and returns every TAG_INTERNET_IOP profile, in the
+// order they appear.
+func (r Ref) IIOPProfiles() ([]IIOPProfile, error) {
+	var out []IIOPProfile
+	for _, tp := range r.Profiles {
+		if tp.Tag != TagInternetIOP {
+			continue
+		}
+		p, err := decodeIIOPProfile(tp.Data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoIIOP
+	}
+	return out, nil
+}
+
+// PrimaryProfile returns the first IIOP profile.
+func (r Ref) PrimaryProfile() (IIOPProfile, error) {
+	ps, err := r.IIOPProfiles()
+	if err != nil {
+		return IIOPProfile{}, err
+	}
+	return ps[0], nil
+}
+
+// Marshal encodes the reference in CDR (as it appears inside message
+// bodies: type id string followed by the profile sequence).
+func (r Ref) Marshal(w *cdr.Writer) {
+	w.WriteString(r.TypeID)
+	w.WriteULong(uint32(len(r.Profiles)))
+	for _, p := range r.Profiles {
+		w.WriteULong(p.Tag)
+		w.WriteOctetSeq(p.Data)
+	}
+}
+
+// Unmarshal decodes a reference from a CDR stream.
+func Unmarshal(rd *cdr.Reader) (Ref, error) {
+	var r Ref
+	r.TypeID = rd.ReadString()
+	n := rd.ReadULong()
+	if rd.Err() != nil {
+		return Ref{}, fmt.Errorf("ior: unmarshal: %w", rd.Err())
+	}
+	capHint := int(n)
+	if maxEntries := rd.Remaining() / 8; capHint > maxEntries {
+		capHint = maxEntries
+	}
+	r.Profiles = make([]TaggedProfile, 0, capHint)
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		tag := rd.ReadULong()
+		data := rd.ReadOctetSeq()
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		r.Profiles = append(r.Profiles, TaggedProfile{Tag: tag, Data: cp})
+	}
+	if rd.Err() != nil {
+		return Ref{}, fmt.Errorf("ior: unmarshal: %w", rd.Err())
+	}
+	return r, nil
+}
+
+// String returns the stringified "IOR:<hex>" form: a hex dump of a CDR
+// encapsulation of the reference.
+func (r Ref) String() string {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(byte(cdr.BigEndian))
+	r.Marshal(w)
+	return "IOR:" + hex.EncodeToString(w.Bytes())
+}
+
+// Parse decodes a stringified "IOR:<hex>" reference.
+func Parse(s string) (Ref, error) {
+	if !strings.HasPrefix(s, "IOR:") {
+		return Ref{}, ErrNotIOR
+	}
+	hx := s[len("IOR:"):]
+	if len(hx)%2 != 0 {
+		return Ref{}, ErrOddHexLength
+	}
+	raw, err := hex.DecodeString(hx)
+	if err != nil {
+		return Ref{}, fmt.Errorf("ior: %w", err)
+	}
+	if len(raw) == 0 {
+		return Ref{}, errors.New("ior: empty reference")
+	}
+	rd := cdr.NewReader(raw, cdr.ByteOrder(raw[0]&1))
+	rd.ReadOctet() // byte-order flag
+	return Unmarshal(rd)
+}
+
+func encodeIIOPProfile(p IIOPProfile) TaggedProfile {
+	if p.Major == 0 {
+		p.Major, p.Minor = 1, 0
+	}
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(byte(cdr.BigEndian))
+	w.WriteOctet(p.Major)
+	w.WriteOctet(p.Minor)
+	w.WriteString(p.Host)
+	w.WriteUShort(p.Port)
+	w.WriteOctetSeq(p.ObjectKey)
+	return TaggedProfile{Tag: TagInternetIOP, Data: w.Bytes()}
+}
+
+func decodeIIOPProfile(data []byte) (IIOPProfile, error) {
+	if len(data) == 0 {
+		return IIOPProfile{}, errors.New("ior: empty IIOP profile")
+	}
+	rd := cdr.NewReader(data, cdr.ByteOrder(data[0]&1))
+	rd.ReadOctet() // byte-order flag
+	var p IIOPProfile
+	p.Major = rd.ReadOctet()
+	p.Minor = rd.ReadOctet()
+	p.Host = rd.ReadString()
+	p.Port = rd.ReadUShort()
+	key := rd.ReadOctetSeq()
+	if rd.Err() != nil {
+		return IIOPProfile{}, fmt.Errorf("ior: decode IIOP profile: %w", rd.Err())
+	}
+	p.ObjectKey = make([]byte, len(key))
+	copy(p.ObjectKey, key)
+	return p, nil
+}

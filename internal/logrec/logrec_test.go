@@ -1,0 +1,99 @@
+package logrec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRecoverWithoutCheckpoint(t *testing.T) {
+	l := NewLog()
+	if _, _, err := l.Recover(1); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	l.Append(1, Entry{Seq: 5, Data: []byte("op")})
+	if _, _, err := l.Recover(1); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("entries without checkpoint: err = %v", err)
+	}
+}
+
+func TestCheckpointAndReplay(t *testing.T) {
+	l := NewLog()
+	l.Checkpoint(7, Checkpoint{Seq: 10, OpCount: 3, State: []byte("s10")})
+	l.Append(7, Entry{Seq: 11, Data: []byte("op11")})
+	l.Append(7, Entry{Seq: 12, Data: []byte("op12")})
+
+	cp, entries, err := l.Recover(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Seq != 10 || cp.OpCount != 3 || !bytes.Equal(cp.State, []byte("s10")) {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	if len(entries) != 2 || entries[0].Seq != 11 || entries[1].Seq != 12 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestCheckpointTruncatesSubsumedEntries(t *testing.T) {
+	l := NewLog()
+	l.Checkpoint(1, Checkpoint{Seq: 0, State: []byte("s0")})
+	for seq := uint64(1); seq <= 5; seq++ {
+		l.Append(1, Entry{Seq: seq, Data: []byte{byte(seq)}})
+	}
+	if got := l.EntryCount(1); got != 5 {
+		t.Fatalf("entries = %d", got)
+	}
+	l.Checkpoint(1, Checkpoint{Seq: 3, State: []byte("s3")})
+	_, entries, err := l.Recover(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Seq != 4 || entries[1].Seq != 5 {
+		t.Fatalf("entries after truncation = %+v", entries)
+	}
+}
+
+func TestLogIsolatesGroups(t *testing.T) {
+	l := NewLog()
+	l.Checkpoint(1, Checkpoint{Seq: 1, State: []byte("a")})
+	l.Checkpoint(2, Checkpoint{Seq: 2, State: []byte("b")})
+	l.Append(1, Entry{Seq: 3, Data: []byte("x")})
+
+	if l.EntryCount(2) != 0 {
+		t.Fatal("group 2 contaminated")
+	}
+	cp, _, err := l.Recover(2)
+	if err != nil || !bytes.Equal(cp.State, []byte("b")) {
+		t.Fatalf("group 2 checkpoint = %+v, %v", cp, err)
+	}
+}
+
+func TestRecoverReturnsCopies(t *testing.T) {
+	l := NewLog()
+	state := []byte("mutable")
+	l.Checkpoint(1, Checkpoint{Seq: 1, State: state})
+	state[0] = 'X' // caller mutation must not affect the stored copy
+
+	cp, _, err := l.Recover(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cp.State, []byte("mutable")) {
+		t.Fatalf("stored state corrupted: %q", cp.State)
+	}
+	cp.State[0] = 'Y' // and mutating the recovered copy must not either
+	cp2, _, _ := l.Recover(1)
+	if !bytes.Equal(cp2.State, []byte("mutable")) {
+		t.Fatalf("second recovery corrupted: %q", cp2.State)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	l := NewLog()
+	l.Checkpoint(1, Checkpoint{Seq: 1, State: []byte("a")})
+	l.Drop(1)
+	if l.HasCheckpoint(1) {
+		t.Fatal("checkpoint survived drop")
+	}
+}

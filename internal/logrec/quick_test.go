@@ -1,0 +1,39 @@
+package logrec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCheckpointSubsumption property: after a checkpoint at seq S,
+// recovery returns only entries with Seq > S, in their original order.
+func TestQuickCheckpointSubsumption(t *testing.T) {
+	f := func(seqs []uint16, cut uint16) bool {
+		l := NewLog()
+		for i, s := range seqs {
+			l.Append(1, Entry{Seq: uint64(s), Data: []byte{byte(i)}})
+		}
+		l.Checkpoint(1, Checkpoint{Seq: uint64(cut), State: []byte("s")})
+		_, entries, err := l.Recover(1)
+		if err != nil {
+			return false
+		}
+		// Every surviving entry is beyond the cut...
+		for _, e := range entries {
+			if e.Seq <= uint64(cut) {
+				return false
+			}
+		}
+		// ...and exactly the expected number survived.
+		want := 0
+		for _, s := range seqs {
+			if uint64(s) > uint64(cut) {
+				want++
+			}
+		}
+		return len(entries) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package memnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickStatsConservation property: every submitted datagram is
+// accounted for exactly once: delivered, lost, blocked, or overflowed.
+func TestQuickStatsConservation(t *testing.T) {
+	f := func(seed int64, lossPct, dupPct uint8, sends uint8, crashB bool) bool {
+		n := New(WithSeed(seed), WithLoss(float64(lossPct%101)/100), WithDuplication(float64(dupPct%101)/100))
+		a, err := n.Attach("a")
+		if err != nil {
+			return false
+		}
+		if _, err := n.Attach("b"); err != nil {
+			return false
+		}
+		if crashB {
+			n.Crash("b")
+		}
+		for i := 0; i < int(sends); i++ {
+			if err := a.Send("b", []byte{byte(i)}); err != nil {
+				// Only a crashed sender may fail, and we never crash a.
+				return false
+			}
+		}
+		st := n.Stats()
+		// Duplication adds deliveries beyond Sent, so conservation is
+		// an inequality on the lower side and exact without dup.
+		accounted := st.Delivered + st.Lost + st.Blocked + st.Overflow
+		if dupPct%101 == 0 {
+			return st.Sent == uint64(sends) && accounted == st.Sent
+		}
+		return st.Sent == uint64(sends) && accounted >= st.Sent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPartitionSymmetry property: partitions block traffic in both
+// directions and healing restores both.
+func TestQuickPartitionSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		n := New(WithSeed(seed))
+		a, _ := n.Attach("a")
+		b, _ := n.Attach("b")
+		n.Partition([]NodeID{"a"}, []NodeID{"b"})
+		_ = a.Send("b", []byte("x"))
+		_ = b.Send("a", []byte("y"))
+		if st := n.Stats(); st.Blocked != 2 || st.Delivered != 0 {
+			return false
+		}
+		n.Heal()
+		_ = a.Send("b", []byte("x"))
+		_ = b.Send("a", []byte("y"))
+		st := n.Stats()
+		return st.Delivered == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

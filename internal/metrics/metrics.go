@@ -1,0 +1,129 @@
+// Package metrics provides the small measurement kit used by the
+// experiment harness: latency histograms with percentiles and throughput
+// windows. It exists so every experiment reports its series the same way
+// (see EXPERIMENTS.md).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples. The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// sortLocked sorts the samples. Callers hold mu.
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the q-th percentile (0 < q <= 100) by
+// nearest-rank; zero if empty.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	rank := int(q/100*float64(len(h.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Mean returns the average sample; zero if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Min returns the smallest sample; zero if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max returns the largest sample; zero if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary renders "mean / p50 / p99 / max" for experiment tables.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%v p50=%v p99=%v max=%v",
+		h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Throughput measures operations per second over a wall-clock window.
+type Throughput struct {
+	start time.Time
+	ops   int
+}
+
+// StartThroughput begins a measurement window.
+func StartThroughput() *Throughput {
+	return &Throughput{start: time.Now()}
+}
+
+// Add counts n completed operations.
+func (t *Throughput) Add(n int) { t.ops += n }
+
+// PerSecond reports the rate since the window began.
+func (t *Throughput) PerSecond() float64 {
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.ops) / elapsed
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramStatistics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestHistogramInterleavedRecordAndQuery(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Millisecond)
+	if h.Max() != 3*time.Millisecond {
+		t.Fatal("max wrong")
+	}
+	h.Record(time.Millisecond) // must re-sort after new samples
+	if h.Min() != time.Millisecond {
+		t.Fatal("min wrong after second record")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.Summary()
+	for _, part := range []string{"mean=", "p50=", "p99=", "max="} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("summary %q missing %q", s, part)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := StartThroughput()
+	tp.Add(10)
+	time.Sleep(10 * time.Millisecond)
+	rate := tp.PerSecond()
+	if rate <= 0 || rate > 10_000 {
+		t.Fatalf("rate = %f", rate)
+	}
+}

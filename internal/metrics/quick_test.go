@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickPercentileMonotone property: percentiles are monotone in q
+// and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(samples []uint16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Record(time.Duration(s))
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			p := h.Percentile(q)
+			if p < prev || p < h.Min() || p > h.Max() {
+				return false
+			}
+			prev = p
+		}
+		return h.Mean() >= h.Min() && h.Mean() <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCountMatches property: Count equals the number of samples.
+func TestQuickCountMatches(t *testing.T) {
+	f := func(n uint8) bool {
+		var h Histogram
+		for i := 0; i < int(n); i++ {
+			h.Record(time.Duration(i))
+		}
+		return h.Count() == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

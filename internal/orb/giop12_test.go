@@ -1,0 +1,52 @@
+package orb
+
+import (
+	"testing"
+)
+
+// TestGIOP12ClientAgainstServer drives the object adapter with GIOP 1.2
+// requests: the server must decode the 1.2 header and answer in 1.2.
+func TestGIOP12ClientAgainstServer(t *testing.T) {
+	s := newTestServer(t)
+	c := dialServer(t, s)
+	c.SetGIOPMinor(2)
+
+	for i := 1; i <= 10; i++ {
+		r, err := c.Call([]byte("counter"), "add", encodeDelta(1), InvokeOptions{})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			t.Fatalf("call %d = %d", i, got)
+		}
+	}
+}
+
+// TestGIOP12OneWay exercises the 1.2 response_flags oneway path.
+func TestGIOP12OneWay(t *testing.T) {
+	s := newTestServer(t)
+	c := dialServer(t, s)
+	c.SetGIOPMinor(2)
+	if _, err := c.Invoke([]byte("counter"), "add", encodeDelta(3), InvokeOptions{OneWay: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Confirm via a 1.0 connection that the state changed.
+	c2 := dialServer(t, s)
+	waitTotal(t, c2, 3)
+}
+
+// TestMixedVersionsOnOneConnection interleaves 1.0 and 1.2 requests.
+func TestMixedVersionsOnOneConnection(t *testing.T) {
+	s := newTestServer(t)
+	c := dialServer(t, s)
+	for i := 1; i <= 6; i++ {
+		c.SetGIOPMinor(byte(2 * (i % 2))) // alternate 0 and 2
+		r, err := c.Call([]byte("counter"), "add", encodeDelta(1), InvokeOptions{})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			t.Fatalf("call %d = %d", i, got)
+		}
+	}
+}

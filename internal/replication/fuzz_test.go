@@ -1,0 +1,18 @@
+package replication
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes through the infrastructure message
+// decoder and every payload decoder.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(Message{Header: Header{Kind: KindInvocation, ClientID: 1, SrcGroup: 2, DstGroup: 3, Op: OperationID{ParentTS: 4, ChildSeq: 5}}, Payload: []byte("x")}))
+	f.Add(encodeCreateGroup(createGroupPayload{Style: Active, ObjectKey: []byte("k")}))
+	f.Add(encodeState(statePayload{Target: "n", JoinTS: 1, OpCount: 2, State: []byte("s")}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if msg, err := Decode(data); err == nil {
+			_, _ = decodeCreateGroup(msg.Payload)
+			_, _ = decodeMember(msg.Payload)
+			_, _ = decodeState(msg.Payload)
+		}
+	})
+}

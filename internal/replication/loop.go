@@ -1,0 +1,425 @@
+package replication
+
+import (
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/giop"
+	"eternalgw/internal/memnet"
+	"eternalgw/internal/totem"
+)
+
+// giopOrder is the byte order used for IIOP messages the infrastructure
+// itself encodes.
+const giopOrder = cdr.BigEndian
+
+// run consumes the totem event stream. It is the only goroutine that
+// mutates the group directory; replica executors receive work through
+// their task queues in delivery order, which preserves the total order
+// per group.
+func (m *Mechanisms) run() {
+	defer close(m.done)
+	defer m.shutdownReplicas()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case ev := <-m.node.Events():
+			switch ev.Type {
+			case totem.EventDeliver:
+				m.handleDelivery(ev.Delivery)
+			case totem.EventConfig:
+				m.handleConfig(ev.Config)
+			}
+		}
+	}
+}
+
+func (m *Mechanisms) shutdownReplicas() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.groups {
+		if g.local != nil {
+			g.local.close()
+			g.local = nil
+		}
+	}
+}
+
+func (m *Mechanisms) handleDelivery(d totem.Delivery) {
+	msg, err := Decode(d.Payload)
+	if err != nil {
+		return // not an infrastructure message; ignore
+	}
+	switch msg.Header.Kind {
+	case KindCreateGroup:
+		m.deliverCreateGroup(msg)
+	case KindJoinGroup:
+		m.deliverJoin(msg, d.Seq)
+	case KindLeaveGroup:
+		m.deliverLeave(msg)
+	case KindInvocation:
+		m.deliverInvocation(msg, d.Seq)
+	case KindResponse:
+		m.deliverResponse(msg, d.Sender, d.Seq)
+	case KindStateTransfer:
+		m.deliverStateTransfer(msg)
+	case KindStateSync:
+		m.deliverStateSync(msg)
+	case KindGatewayControl:
+		m.deliverGatewayControl(msg, d.Seq)
+	case KindDeleteGroup:
+		m.deliverDeleteGroup(msg)
+	}
+}
+
+// deliverDeleteGroup retires a group at this node.
+func (m *Mechanisms) deliverDeleteGroup(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok {
+		return
+	}
+	if g.local != nil {
+		g.local.close()
+		g.local = nil
+	}
+	if g.objectKey != "" && m.byKey[g.objectKey] == g.id {
+		delete(m.byKey, g.objectKey)
+	}
+	delete(m.groups, g.id)
+	delete(m.observers, g.id)
+	m.notifyChanged()
+}
+
+// deliverGatewayControl routes gateway housekeeping to the destination
+// group's observer; the infrastructure itself attaches no meaning to it.
+func (m *Mechanisms) deliverGatewayControl(msg Message, ts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok {
+		return
+	}
+	m.observe(g, msg, ts)
+}
+
+func (m *Mechanisms) deliverCreateGroup(msg Message) {
+	p, err := decodeCreateGroup(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := msg.Header.DstGroup
+	if _, ok := m.groups[id]; ok {
+		return // concurrent creators: first delivery wins
+	}
+	m.groups[id] = &groupState{
+		id:           id,
+		style:        p.Style,
+		objectKey:    string(p.ObjectKey),
+		pendingJoins: make(map[memnet.NodeID]uint64),
+	}
+	if len(p.ObjectKey) > 0 {
+		m.byKey[string(p.ObjectKey)] = id
+	}
+	m.notifyChanged()
+}
+
+func (m *Mechanisms) deliverJoin(msg Message, ts uint64) {
+	p, err := decodeMember(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok || g.isMember(p.Node) {
+		return
+	}
+	g.members = append(g.members, p.Node)
+	first := len(g.members) == 1
+
+	if p.Node == m.cfg.NodeID {
+		app, armed := m.prearmed[g.id]
+		if !armed {
+			// A join we never prearmed (e.g. replayed from before a
+			// restart): ignore the membership slot for safety.
+			g.removeMember(p.Node)
+			m.notifyChanged()
+			return
+		}
+		delete(m.prearmed, g.id)
+		r := newReplica(m, g.id, g.style, app)
+		g.local = r
+		// The first member and client-only members need no state
+		// transfer.
+		if first || app == nil {
+			r.synced.Store(true)
+		} else {
+			g.pendingJoins[p.Node] = ts
+		}
+	} else if g.local != nil && g.local.app != nil && !first {
+		g.pendingJoins[p.Node] = ts
+	}
+
+	// The donor (current primary) captures state for a joining servant.
+	if !first && len(g.members) > 0 && g.members[0] == m.cfg.NodeID &&
+		g.local != nil && g.local.app != nil && p.Node != m.cfg.NodeID {
+		g.local.push(task{kind: taskCaptureState, joiner: p.Node, ts: ts})
+	}
+	m.updatePrimary(g)
+	m.notifyChanged()
+}
+
+func (m *Mechanisms) deliverLeave(msg Message) {
+	p, err := decodeMember(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok || !g.isMember(p.Node) {
+		return
+	}
+	g.removeMember(p.Node)
+	delete(g.pendingJoins, p.Node)
+	if p.Node == m.cfg.NodeID && g.local != nil {
+		g.local.close()
+		g.local = nil
+	}
+	m.updatePrimary(g)
+	m.retriggerTransfers(g)
+	m.notifyChanged()
+}
+
+// handleConfig reacts to a totem membership change: nodes that left the
+// ring are removed from every group, at a single point in the total
+// order, so all survivors agree on the resulting memberships and on who
+// is promoted.
+func (m *Mechanisms) handleConfig(c totem.ConfigChange) {
+	inRing := make(map[memnet.NodeID]bool, len(c.Members))
+	for _, id := range c.Members {
+		inRing[id] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.groups {
+		changed := false
+		for _, node := range append([]memnet.NodeID(nil), g.members...) {
+			if !inRing[node] {
+				g.removeMember(node)
+				delete(g.pendingJoins, node)
+				changed = true
+			}
+		}
+		if changed {
+			m.updatePrimary(g)
+			m.retriggerTransfers(g)
+		}
+	}
+	m.notifyChanged()
+}
+
+// updatePrimary recomputes the local replica's primary role; a backup of
+// a passive group promoted to primary performs failover. Callers hold mu.
+func (m *Mechanisms) updatePrimary(g *groupState) {
+	if g.local == nil {
+		return
+	}
+	isPrimary := len(g.members) > 0 && g.members[0] == m.cfg.NodeID
+	if isPrimary && !g.local.primary {
+		g.local.primary = true
+		// Failover applies only to replicas that actually served as a
+		// backup: a replica that is primary from its own join (the
+		// group's first member) has nothing to recover.
+		if g.local.wasBackup && (g.style == WarmPassive || g.style == ColdPassive) && g.local.app != nil {
+			g.local.push(task{kind: taskFailover})
+		}
+	} else if !isPrimary {
+		g.local.primary = false
+		g.local.wasBackup = true
+	}
+}
+
+// retriggerTransfers re-issues state capture for joiners whose donor died
+// before sending their state. Callers hold mu.
+func (m *Mechanisms) retriggerTransfers(g *groupState) {
+	if g.local == nil || g.local.app == nil {
+		return
+	}
+	if len(g.members) == 0 || g.members[0] != m.cfg.NodeID {
+		return
+	}
+	for joiner, ts := range g.pendingJoins {
+		if joiner != m.cfg.NodeID {
+			g.local.push(task{kind: taskCaptureState, joiner: joiner, ts: ts})
+		}
+	}
+}
+
+func (m *Mechanisms) deliverInvocation(msg Message, ts uint64) {
+	if !m.HasQuorum() {
+		// Minority partition: refuse to advance replica state so the
+		// majority's history stays the only history (reconciliation by
+		// state transfer on merge).
+		return
+	}
+	m.mu.Lock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	m.observe(g, msg, ts)
+	if g.local == nil || g.local.app == nil {
+		m.mu.Unlock()
+		return
+	}
+	r := g.local
+	execute := true
+	logOnly := false
+	if g.style == WarmPassive || g.style == ColdPassive {
+		// Only the primary executes; backups log the invocation stream
+		// for replay after failover.
+		execute = r.primary
+		logOnly = !r.primary
+	}
+	m.mu.Unlock()
+	r.push(task{kind: taskInvoke, msg: msg, ts: ts, execute: execute, logInv: logOnly})
+}
+
+// deliverResponse routes a response to local pending invocations,
+// suppressing duplicates by response identifier (paper section 3.3): the
+// first copy is delivered, all subsequently received copies of the same
+// operation identifier are discarded.
+func (m *Mechanisms) deliverResponse(msg Message, sender memnet.NodeID, ts uint64) {
+	key := opKey{src: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
+
+	m.mu.Lock()
+	// Only group members are addressees.
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok || g.local == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.observe(g, msg, ts)
+	calls := m.pending[key]
+	if len(calls) == 0 {
+		if _, done := m.recentDone[key]; done {
+			m.duplicateResponses.Add(1)
+		}
+		m.mu.Unlock()
+		return
+	}
+
+	wire, err := giop.Unmarshal(msg.Payload)
+	if err != nil {
+		m.mu.Unlock()
+		return
+	}
+	rep, err := giop.DecodeReply(wire)
+	if err != nil {
+		m.mu.Unlock()
+		return
+	}
+
+	remaining := calls[:0]
+	delivered := false
+	for _, c := range calls {
+		if c.votesNeeded == 0 {
+			c.ch <- rep
+			delivered = true
+			continue // resolved; drop from pending
+		}
+		if c.responded[sender] {
+			m.duplicateResponses.Add(1)
+			remaining = append(remaining, c)
+			continue
+		}
+		c.responded[sender] = true
+		c.votes[string(rep.Result)]++
+		if c.votes[string(rep.Result)] >= c.votesNeeded {
+			c.ch <- rep
+			delivered = true
+			continue
+		}
+		if len(c.responded) >= c.expected {
+			// All replicas answered without a majority: surface the
+			// disagreement instead of hanging the caller.
+			c.ch <- giop.Reply{
+				RequestID: rep.RequestID,
+				Status:    giop.ReplySystemException,
+				Result:    giop.SystemExceptionBody(giopOrder, "IDL:eternalgw/NO_AGREEMENT:1.0", 0, 0),
+			}
+			delivered = true
+			continue
+		}
+		remaining = append(remaining, c)
+	}
+	if len(remaining) == 0 {
+		delete(m.pending, key)
+	} else {
+		m.pending[key] = remaining
+	}
+	if delivered {
+		m.responsesDelivered.Add(1)
+		m.markDone(key)
+	}
+	m.mu.Unlock()
+}
+
+// markDone remembers an answered operation so late duplicate responses
+// are counted. Callers hold mu.
+func (m *Mechanisms) markDone(key opKey) {
+	if _, ok := m.recentDone[key]; ok {
+		return
+	}
+	m.recentDone[key] = struct{}{}
+	m.recentDoneFIFO = append(m.recentDoneFIFO, key)
+	if len(m.recentDoneFIFO) > m.cfg.DedupCapacity {
+		old := m.recentDoneFIFO[0]
+		m.recentDoneFIFO = m.recentDoneFIFO[1:]
+		delete(m.recentDone, old)
+	}
+}
+
+func (m *Mechanisms) deliverStateTransfer(msg Message) {
+	p, err := decodeState(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	delete(g.pendingJoins, p.Target)
+	var r *replica
+	if p.Target == m.cfg.NodeID && g.local != nil && g.local.app != nil {
+		r = g.local
+	}
+	m.mu.Unlock()
+	if r != nil {
+		r.push(task{kind: taskApplyState, state: p})
+	}
+}
+
+func (m *Mechanisms) deliverStateSync(msg Message) {
+	p, err := decodeState(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	var r *replica
+	if ok && g.local != nil && g.local.app != nil && !g.local.primary {
+		r = g.local
+	}
+	m.mu.Unlock()
+	if r != nil {
+		r.push(task{kind: taskApplySync, state: p})
+	}
+}

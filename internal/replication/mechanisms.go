@@ -1,0 +1,448 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eternalgw/internal/giop"
+	"eternalgw/internal/logrec"
+	"eternalgw/internal/memnet"
+	"eternalgw/internal/totem"
+)
+
+// Errors reported by the mechanisms.
+var (
+	ErrNoQuorum      = errors.New("replication: node is in a minority partition")
+	ErrStopped       = errors.New("replication: mechanisms stopped")
+	ErrNoSuchGroup   = errors.New("replication: no such group")
+	ErrGroupExists   = errors.New("replication: group already exists")
+	ErrNotMember     = errors.New("replication: node is not a member")
+	ErrAlreadyMember = errors.New("replication: node already a member")
+	ErrTimeout       = errors.New("replication: timed out")
+	ErrNoAgreement   = errors.New("replication: voting replicas disagree")
+)
+
+// groupState is the directory entry for one object group. It is mutated
+// only by the event loop, under mu for the benefit of concurrent readers.
+type groupState struct {
+	id        GroupID
+	style     Style
+	objectKey string
+	// members lists hosting nodes in join order; members[0] is the
+	// primary of passive groups and the state-transfer donor.
+	members []memnet.NodeID
+	// local is this node's replica runtime, if the node is a member.
+	local *replica
+	// pendingJoins tracks joiners awaiting state transfer: node -> the
+	// totem timestamp of their join.
+	pendingJoins map[memnet.NodeID]uint64
+}
+
+func (g *groupState) isMember(id memnet.NodeID) bool {
+	for _, m := range g.members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *groupState) removeMember(id memnet.NodeID) {
+	kept := g.members[:0]
+	for _, m := range g.members {
+		if m != id {
+			kept = append(kept, m)
+		}
+	}
+	g.members = kept
+}
+
+// pendingCall is one invocation awaiting its response(s).
+type pendingCall struct {
+	ch chan giop.Reply
+	// votesNeeded is zero for first-response delivery; otherwise the
+	// number of identical results required (active-with-voting).
+	votesNeeded int
+	votes       map[string]int
+	responded   map[memnet.NodeID]bool
+	expected    int // group size at invocation time (voting)
+}
+
+// Mechanisms is the per-node replication engine. Create with New, stop
+// with Stop.
+type Mechanisms struct {
+	cfg  Config
+	node *totem.Node
+	log  *logrec.Log
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	groups map[GroupID]*groupState
+	byKey  map[string]GroupID
+	// prearmed holds applications registered by JoinGroup, installed
+	// when the join announcement is delivered in total order.
+	prearmed  map[GroupID]Application
+	pending   map[opKey][]*pendingCall
+	observers map[GroupID]Observer
+	// recentDone remembers recently answered operations so late
+	// duplicate responses are counted as suppressed.
+	recentDone     map[opKey]struct{}
+	recentDoneFIFO []opKey
+	changed        chan struct{} // closed and replaced on directory change
+
+	stopOnce sync.Once
+
+	invocationsSent      atomic.Uint64
+	invocationsExecuted  atomic.Uint64
+	duplicateInvocations atomic.Uint64
+	responsesSent        atomic.Uint64
+	responsesDelivered   atomic.Uint64
+	duplicateResponses   atomic.Uint64
+	stateTransfers       atomic.Uint64
+	stateSyncs           atomic.Uint64
+	checkpoints          atomic.Uint64
+	failovers            atomic.Uint64
+	replayedInvocations  atomic.Uint64
+}
+
+// New creates the replication mechanisms over a running totem node and
+// starts consuming its event stream.
+func New(cfg Config) (*Mechanisms, error) {
+	if cfg.Node == nil {
+		return nil, errors.New("replication: config needs a totem node")
+	}
+	cfg.applyDefaults()
+	m := &Mechanisms{
+		cfg:        cfg,
+		node:       cfg.Node,
+		log:        logrec.NewLog(),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		groups:     make(map[GroupID]*groupState),
+		byKey:      make(map[string]GroupID),
+		prearmed:   make(map[GroupID]Application),
+		pending:    make(map[opKey][]*pendingCall),
+		observers:  make(map[GroupID]Observer),
+		recentDone: make(map[opKey]struct{}),
+		changed:    make(chan struct{}),
+	}
+	go m.run()
+	return m, nil
+}
+
+// NodeID returns the identity of the node these mechanisms run on.
+func (m *Mechanisms) NodeID() memnet.NodeID { return m.cfg.NodeID }
+
+// Log exposes the node's logging-recovery store (used by experiments and
+// the resource manager to inspect recovery behaviour).
+func (m *Mechanisms) Log() *logrec.Log { return m.log }
+
+// Stop shuts down the event loop and all replica executors.
+func (m *Mechanisms) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Stats snapshots the counters.
+func (m *Mechanisms) Stats() Stats {
+	return Stats{
+		InvocationsSent:      m.invocationsSent.Load(),
+		InvocationsExecuted:  m.invocationsExecuted.Load(),
+		DuplicateInvocations: m.duplicateInvocations.Load(),
+		ResponsesSent:        m.responsesSent.Load(),
+		ResponsesDelivered:   m.responsesDelivered.Load(),
+		DuplicateResponses:   m.duplicateResponses.Load(),
+		StateTransfers:       m.stateTransfers.Load(),
+		StateSyncs:           m.stateSyncs.Load(),
+		Checkpoints:          m.checkpoints.Load(),
+		Failovers:            m.failovers.Load(),
+		ReplayedInvocations:  m.replayedInvocations.Load(),
+	}
+}
+
+// --- group administration -------------------------------------------------
+
+// CreateGroup announces a new object group. The announcement is ordered
+// by totem; use WaitForGroup to synchronize. Creating an existing group
+// id is a delivered no-op, so concurrent creators agree on the first.
+func (m *Mechanisms) CreateGroup(id GroupID, style Style, objectKey []byte) error {
+	return m.multicast(Message{
+		Header:  Header{Kind: KindCreateGroup, ClientID: UnusedClientID, DstGroup: id},
+		Payload: encodeCreateGroup(createGroupPayload{Style: style, ObjectKey: objectKey}),
+	})
+}
+
+// JoinGroup adds a replica of the group on this node, hosting app. A nil
+// app joins as a client-only member (how gateways join the gateway
+// group): it can invoke through the group and receive responses but
+// hosts no servant. Use WaitSynced to block until the replica has
+// received its state transfer and is live.
+func (m *Mechanisms) JoinGroup(id GroupID, app Application) error {
+	m.mu.Lock()
+	g, ok := m.groups[id]
+	if _, armed := m.prearmed[id]; (ok && g.local != nil) || armed {
+		m.mu.Unlock()
+		return fmt.Errorf("group %d on %s: %w", id, m.cfg.NodeID, ErrAlreadyMember)
+	}
+	// Register the intent; the replica activates when the join is
+	// delivered in total order.
+	m.prearmed[id] = app
+	m.mu.Unlock()
+	return m.multicast(Message{
+		Header:  Header{Kind: KindJoinGroup, ClientID: UnusedClientID, DstGroup: id},
+		Payload: encodeMember(memberPayload{Node: m.cfg.NodeID}),
+	})
+}
+
+// DeleteGroup retires the group across the whole domain: every node
+// stops its local replica (if any) and removes the directory entry. The
+// deletion is ordered by totem like every other membership change.
+func (m *Mechanisms) DeleteGroup(id GroupID) error {
+	return m.multicast(Message{
+		Header: Header{Kind: KindDeleteGroup, ClientID: UnusedClientID, DstGroup: id},
+	})
+}
+
+// LeaveGroup removes this node's replica from the group.
+func (m *Mechanisms) LeaveGroup(id GroupID) error {
+	return m.multicast(Message{
+		Header:  Header{Kind: KindLeaveGroup, ClientID: UnusedClientID, DstGroup: id},
+		Payload: encodeMember(memberPayload{Node: m.cfg.NodeID}),
+	})
+}
+
+// GroupByKey resolves a CORBA object key to its object group. This is
+// the lookup the gateway performs on the object key embedded in each
+// incoming IIOP request (paper section 3.1).
+func (m *Mechanisms) GroupByKey(objectKey []byte) (GroupID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.byKey[string(objectKey)]
+	return id, ok
+}
+
+// GroupStyle returns the replication style of a group.
+func (m *Mechanisms) GroupStyle(id GroupID) (Style, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[id]
+	if !ok {
+		return 0, false
+	}
+	return g.style, true
+}
+
+// Members returns a group's hosting nodes in join order (index 0 is the
+// primary of passive groups).
+func (m *Mechanisms) Members(id GroupID) []memnet.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[id]
+	if !ok {
+		return nil
+	}
+	out := make([]memnet.NodeID, len(g.members))
+	copy(out, g.members)
+	return out
+}
+
+// waitCondition blocks until cond (evaluated under mu) holds.
+func (m *Mechanisms) waitCondition(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		ok := cond()
+		ch := m.changed
+		m.mu.Unlock()
+		if ok {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return ErrTimeout
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+		case <-timer.C:
+		case <-m.stop:
+			timer.Stop()
+			return ErrStopped
+		}
+		timer.Stop()
+	}
+}
+
+// WaitForGroup blocks until the group exists.
+func (m *Mechanisms) WaitForGroup(id GroupID, timeout time.Duration) error {
+	return m.waitCondition(timeout, func() bool {
+		_, ok := m.groups[id]
+		return ok
+	})
+}
+
+// WaitForMembers blocks until the group has at least n members.
+func (m *Mechanisms) WaitForMembers(id GroupID, n int, timeout time.Duration) error {
+	return m.waitCondition(timeout, func() bool {
+		g, ok := m.groups[id]
+		return ok && len(g.members) >= n
+	})
+}
+
+// WaitSynced blocks until this node's replica of the group is live
+// (joined, state transferred).
+func (m *Mechanisms) WaitSynced(id GroupID, timeout time.Duration) error {
+	return m.waitCondition(timeout, func() bool {
+		g, ok := m.groups[id]
+		return ok && g.local != nil && g.local.synced.Load()
+	})
+}
+
+// notifyChanged wakes all condition waiters. Callers hold mu.
+func (m *Mechanisms) notifyChanged() {
+	close(m.changed)
+	m.changed = make(chan struct{})
+}
+
+// --- invocation -----------------------------------------------------------
+
+// Invoke multicasts an invocation of the dst group and waits for the
+// response, suppressing duplicate responses by response identifier. src
+// must be a group this node is a member of (responses are addressed to
+// it). clientID carries the TCP client identifier when a gateway invokes
+// on behalf of an external client, and UnusedClientID otherwise. op must
+// be determined identically by every replica of the issuing group.
+func (m *Mechanisms) Invoke(src GroupID, clientID uint64, dst GroupID, op OperationID, req giop.Request, timeout time.Duration) (giop.Reply, error) {
+	if timeout == 0 {
+		timeout = m.cfg.InvokeTimeout
+	}
+	if !m.HasQuorum() {
+		return giop.Reply{}, fmt.Errorf("invoke group %d: %w", dst, ErrNoQuorum)
+	}
+	key := opKey{src: dst, clientID: clientID, op: op}
+
+	m.mu.Lock()
+	g, ok := m.groups[dst]
+	if !ok {
+		m.mu.Unlock()
+		return giop.Reply{}, fmt.Errorf("group %d: %w", dst, ErrNoSuchGroup)
+	}
+	call := &pendingCall{ch: make(chan giop.Reply, 1)}
+	if g.style == ActiveWithVoting {
+		call.expected = len(g.members)
+		call.votesNeeded = len(g.members)/2 + 1
+		call.votes = make(map[string]int)
+		call.responded = make(map[memnet.NodeID]bool)
+	}
+	m.pending[key] = append(m.pending[key], call)
+	m.mu.Unlock()
+
+	defer m.unregisterPending(key, call)
+
+	// Encode the conveyed IIOP request in the byte order its arguments
+	// were marshalled in (the external client's order, when a gateway
+	// forwards), so replicas decode the arguments correctly and answer
+	// in the same order.
+	reqMsg, err := giop.EncodeRequest(req.ArgsOrder, req)
+	if err != nil {
+		return giop.Reply{}, err
+	}
+	err = m.multicast(Message{
+		Header: Header{
+			Kind:     KindInvocation,
+			ClientID: clientID,
+			SrcGroup: src,
+			DstGroup: dst,
+			Op:       op,
+		},
+		Payload: giop.Marshal(reqMsg),
+	})
+	if err != nil {
+		return giop.Reply{}, err
+	}
+	m.invocationsSent.Add(1)
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rep := <-call.ch:
+		return rep, nil
+	case <-timer.C:
+		return giop.Reply{}, fmt.Errorf("%w: op %v on group %d", ErrTimeout, op, dst)
+	case <-m.stop:
+		return giop.Reply{}, ErrStopped
+	}
+}
+
+func (m *Mechanisms) unregisterPending(key opKey, call *pendingCall) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	calls := m.pending[key]
+	kept := calls[:0]
+	for _, c := range calls {
+		if c != call {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		delete(m.pending, key)
+	} else {
+		m.pending[key] = kept
+	}
+}
+
+// HasQuorum reports whether this node may serve: always true unless
+// QuorumOf is configured, in which case the node's ring must hold a
+// majority of the domain's processors.
+func (m *Mechanisms) HasQuorum() bool {
+	if m.cfg.QuorumOf <= 0 {
+		return true
+	}
+	return len(m.node.Members()) >= m.cfg.QuorumOf/2+1
+}
+
+// multicast submits an encoded message to totem.
+func (m *Mechanisms) multicast(msg Message) error {
+	if err := m.node.Multicast(Encode(msg)); err != nil {
+		return fmt.Errorf("replication: multicast: %w", err)
+	}
+	return nil
+}
+
+// MulticastMessage multicasts an arbitrary infrastructure message into
+// the domain. Gateways use it to record incoming client requests with
+// the whole gateway group before forwarding them (paper section 3.5).
+func (m *Mechanisms) MulticastMessage(msg Message) error {
+	return m.multicast(msg)
+}
+
+// Observer receives infrastructure messages addressed to an observed
+// group, in total order, together with their delivery timestamps.
+// Observers run on the event loop and must not block.
+type Observer func(msg Message, ts uint64)
+
+// SetObserver registers fn to observe every invocation and response
+// delivered to the group while this node is a member. This is how every
+// member of a redundant gateway group keeps a record of the requests and
+// responses flowing through any one of them (paper section 3.5).
+func (m *Mechanisms) SetObserver(group GroupID, fn Observer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observers[group] = fn
+}
+
+// observe dispatches a delivered message to the group's observer, if the
+// node is a member. Callers hold mu.
+func (m *Mechanisms) observe(g *groupState, msg Message, ts uint64) {
+	if g.local == nil {
+		return
+	}
+	if fn, ok := m.observers[g.id]; ok {
+		fn(msg, ts)
+	}
+}

@@ -1,0 +1,96 @@
+package replication
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"eternalgw/internal/memnet"
+)
+
+// TestQuickMessageRoundTrip property: every infrastructure message
+// survives Encode/Decode byte-for-byte.
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(kind uint8, clientID uint64, src, dst uint32, parentTS uint64, childSeq uint32, payload []byte) bool {
+		msg := Message{
+			Header: Header{
+				Kind:     Kind(kind%8 + 1),
+				ClientID: clientID,
+				SrcGroup: GroupID(src),
+				DstGroup: GroupID(dst),
+				Op:       OperationID{ParentTS: parentTS, ChildSeq: childSeq},
+			},
+			Payload: payload,
+		}
+		got, err := Decode(Encode(msg))
+		if err != nil {
+			return false
+		}
+		return got.Header == msg.Header && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics property: arbitrary bytes never panic the
+// infrastructure decoder.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStatePayloadRoundTrip property: state transfer payloads
+// survive their codec.
+func TestQuickStatePayloadRoundTrip(t *testing.T) {
+	f := func(target string, joinTS, opCount uint64, state []byte) bool {
+		target = stripNULs(target)
+		p := statePayload{Target: memnetNodeID(target), JoinTS: joinTS, OpCount: opCount, State: state}
+		got, err := decodeState(encodeState(p))
+		if err != nil {
+			return false
+		}
+		return got.Target == p.Target && got.JoinTS == joinTS && got.OpCount == opCount && bytes.Equal(got.State, state)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOperationIDUniqueness property: distinct (ParentTS, ChildSeq)
+// pairs produce distinct duplicate-detection keys, and identical pairs
+// identical keys — the figure 6 guarantee the dedup tables rely on.
+func TestQuickOperationIDUniqueness(t *testing.T) {
+	f := func(ts1, ts2 uint64, seq1, seq2 uint32, client uint64, src uint32) bool {
+		k1 := opKey{src: GroupID(src), clientID: client, op: OperationID{ParentTS: ts1, ChildSeq: seq1}}
+		k2 := opKey{src: GroupID(src), clientID: client, op: OperationID{ParentTS: ts2, ChildSeq: seq2}}
+		same := ts1 == ts2 && seq1 == seq2
+		return (k1 == k2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// helpers for the quick tests.
+func stripNULs(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r != 0 {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func memnetNodeID(s string) memnet.NodeID { return memnet.NodeID(s) }

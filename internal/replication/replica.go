@@ -1,0 +1,456 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/giop"
+	"eternalgw/internal/logrec"
+	"eternalgw/internal/memnet"
+	"eternalgw/internal/orb"
+)
+
+// taskKind enumerates replica executor work items.
+type taskKind uint8
+
+const (
+	taskInvoke taskKind = iota + 1
+	taskCaptureState
+	taskApplyState
+	taskApplySync
+	taskFailover
+)
+
+// task is one unit of work, created by the event loop at a specific
+// point in the total order and executed asynchronously in that order.
+type task struct {
+	kind    taskKind
+	msg     Message
+	ts      uint64
+	execute bool
+	logInv  bool
+	state   statePayload
+	joiner  memnet.NodeID
+}
+
+// taskQueue is an unbounded FIFO. The event loop must never block on a
+// replica whose application is slow (or blocked in a nested invocation),
+// so pushes always succeed.
+type taskQueue struct {
+	mu     sync.Mutex
+	items  []task
+	signal chan struct{}
+	closed bool
+}
+
+func newTaskQueue() *taskQueue {
+	return &taskQueue{signal: make(chan struct{}, 1)}
+}
+
+func (q *taskQueue) push(t task) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, t)
+	q.mu.Unlock()
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+// pop blocks until a task is available or the queue is closed.
+func (q *taskQueue) pop() (task, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			t := q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return t, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return task{}, false
+		}
+		<-q.signal
+	}
+}
+
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+// replica is this node's runtime for one group membership: the hosted
+// application (nil for client-only members such as gateways) plus the
+// executor state. Fields below the queue are owned by the executor
+// goroutine; primary is owned by the event loop.
+type replica struct {
+	m     *Mechanisms
+	group GroupID
+	style Style
+	app   Application
+	tasks *taskQueue
+
+	synced atomic.Bool
+	// primary marks this node as g.members[0]; loop-owned. wasBackup
+	// records that the replica served as a non-primary at some point,
+	// which is what makes a later promotion a failover.
+	primary   bool
+	wasBackup bool
+
+	// executor-owned state.
+	executed     map[opKey]giop.Reply
+	executedFIFO []opKey
+	opCount      uint64
+	lastOpTS     uint64
+	pendingLog   []logrec.Entry // warm-passive backup replay log
+	holdback     []task         // invocations buffered until state arrives
+	curParentTS  uint64
+	curChildSeq  uint32
+}
+
+func newReplica(m *Mechanisms, group GroupID, style Style, app Application) *replica {
+	r := &replica{
+		m:        m,
+		group:    group,
+		style:    style,
+		app:      app,
+		tasks:    newTaskQueue(),
+		executed: make(map[opKey]giop.Reply),
+	}
+	if app != nil {
+		go r.runExecutor()
+	}
+	return r
+}
+
+func (r *replica) push(t task) { r.tasks.push(t) }
+
+func (r *replica) close() { r.tasks.close() }
+
+func (r *replica) runExecutor() {
+	for {
+		t, ok := r.tasks.pop()
+		if !ok {
+			return
+		}
+		r.handle(t)
+	}
+}
+
+func (r *replica) handle(t task) {
+	switch t.kind {
+	case taskInvoke:
+		if !r.synced.Load() {
+			// State has not arrived yet: hold invocations back; they
+			// replay in order once the transfer is applied.
+			r.holdback = append(r.holdback, t)
+			return
+		}
+		r.handleInvoke(t)
+	case taskCaptureState:
+		r.handleCaptureState(t)
+	case taskApplyState:
+		r.handleApplyState(t)
+	case taskApplySync:
+		r.handleApplySync(t)
+	case taskFailover:
+		r.handleFailover()
+	}
+}
+
+func (r *replica) handleInvoke(t task) {
+	if t.logInv {
+		entry := logrec.Entry{Seq: t.ts, Data: Encode(t.msg)}
+		switch r.style {
+		case WarmPassive:
+			r.pendingLog = append(r.pendingLog, entry)
+		case ColdPassive:
+			r.m.log.Append(uint32(r.group), entry)
+		}
+		return
+	}
+	if !t.execute {
+		return
+	}
+	r.executeInvocation(t.msg, t.ts, false)
+}
+
+// executeInvocation runs one invocation against the application,
+// multicasting the response. Duplicate invocations (same operation
+// identifier from the same source and client) are detected and
+// suppressed: the cached response is re-sent so a reissuing client (or a
+// gateway that failed over) still obtains the result, but the operation
+// is not executed twice (paper sections 2.2, 3.3, 3.5).
+func (r *replica) executeInvocation(msg Message, ts uint64, replay bool) {
+	key := opKey{src: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
+	if rep, ok := r.executed[key]; ok {
+		r.m.duplicateInvocations.Add(1)
+		r.respond(msg, rep)
+		return
+	}
+	wire, err := giop.Unmarshal(msg.Payload)
+	if err != nil {
+		return
+	}
+	req, err := giop.DecodeRequest(wire)
+	if err != nil {
+		return
+	}
+
+	r.curParentTS = ts
+	r.curChildSeq = 0
+	rep := orb.InvokeServant(r.app, req)
+	r.curParentTS = 0
+
+	r.m.invocationsExecuted.Add(1)
+	if replay {
+		r.m.replayedInvocations.Add(1)
+	}
+	r.opCount++
+	r.lastOpTS = ts
+	r.remember(key, rep)
+	if req.ResponseExpected {
+		r.respond(msg, rep)
+	}
+	r.maybeSync(ts)
+}
+
+// remember caches an executed operation's reply for duplicate detection,
+// bounded by the configured capacity.
+func (r *replica) remember(key opKey, rep giop.Reply) {
+	if _, ok := r.executed[key]; ok {
+		return
+	}
+	r.executed[key] = rep
+	r.executedFIFO = append(r.executedFIFO, key)
+	if len(r.executedFIFO) > r.m.cfg.DedupCapacity {
+		old := r.executedFIFO[0]
+		r.executedFIFO = r.executedFIFO[1:]
+		delete(r.executed, old)
+	}
+}
+
+// respond multicasts a response addressed to the invoker's group,
+// carrying the same client identifier and operation identifier as the
+// invocation so receivers can correlate and deduplicate (figure 6).
+func (r *replica) respond(inv Message, rep giop.Reply) {
+	// The reply is framed in the same byte order its result bytes were
+	// produced in (the original request's order), so the label on the
+	// wire matches the payload.
+	wire, err := giop.EncodeReply(rep.ResultOrder, rep)
+	if err != nil {
+		return
+	}
+	_ = r.m.multicast(Message{
+		Header: Header{
+			Kind:     KindResponse,
+			ClientID: inv.Header.ClientID,
+			SrcGroup: inv.Header.DstGroup, // we are the invoked group
+			DstGroup: inv.Header.SrcGroup,
+			Op:       inv.Header.Op,
+		},
+		Payload: giop.Marshal(wire),
+	})
+	r.m.responsesSent.Add(1)
+}
+
+// maybeSync publishes state to the backups of a passive group: a
+// StateSync every WarmSyncInterval operations for warm replicas, a
+// checkpoint every CheckpointInterval for cold ones. Only the primary
+// executes, so only the primary arrives here.
+func (r *replica) maybeSync(ts uint64) {
+	var interval int
+	switch r.style {
+	case WarmPassive:
+		interval = r.m.cfg.WarmSyncInterval
+	case ColdPassive:
+		interval = r.m.cfg.CheckpointInterval
+	default:
+		return
+	}
+	if interval <= 0 || r.opCount%uint64(interval) != 0 {
+		return
+	}
+	state, err := r.app.State()
+	if err != nil {
+		return
+	}
+	_ = r.m.multicast(Message{
+		Header:  Header{Kind: KindStateSync, ClientID: UnusedClientID, SrcGroup: r.group, DstGroup: r.group},
+		Payload: encodeState(statePayload{JoinTS: ts, OpCount: r.opCount, State: state}),
+	})
+	if r.style == WarmPassive {
+		r.m.stateSyncs.Add(1)
+	} else {
+		r.m.checkpoints.Add(1)
+	}
+}
+
+// handleCaptureState is the donor side of state transfer: capture the
+// application state as of this point in the total order and multicast it
+// to the joining replica.
+func (r *replica) handleCaptureState(t task) {
+	state, err := r.app.State()
+	if err != nil {
+		return
+	}
+	_ = r.m.multicast(Message{
+		Header:  Header{Kind: KindStateTransfer, ClientID: UnusedClientID, SrcGroup: r.group, DstGroup: r.group},
+		Payload: encodeState(statePayload{Target: t.joiner, JoinTS: t.ts, OpCount: r.opCount, State: state}),
+	})
+	r.m.stateTransfers.Add(1)
+}
+
+// handleApplyState is the joiner side of state transfer.
+func (r *replica) handleApplyState(t task) {
+	if r.synced.Load() {
+		return // duplicate transfer (donor died and was re-triggered)
+	}
+	switch r.style {
+	case ColdPassive:
+		// A cold backup stores the state as a checkpoint; the
+		// application is loaded only at failover.
+		r.m.log.Checkpoint(uint32(r.group), logrec.Checkpoint{
+			Seq: t.state.JoinTS, OpCount: t.state.OpCount, State: t.state.State,
+		})
+	default:
+		if err := r.app.SetState(t.state.State); err != nil {
+			return
+		}
+	}
+	r.opCount = t.state.OpCount
+	r.synced.Store(true)
+	r.m.mu.Lock()
+	r.m.notifyChanged()
+	r.m.mu.Unlock()
+
+	// Replay invocations that were delivered between the join and the
+	// state's arrival, in their original order.
+	held := r.holdback
+	r.holdback = nil
+	for _, h := range held {
+		r.handle(h)
+	}
+}
+
+// handleApplySync is the backup side of periodic state synchronization.
+func (r *replica) handleApplySync(t task) {
+	switch r.style {
+	case WarmPassive:
+		if err := r.app.SetState(t.state.State); err != nil {
+			return
+		}
+		r.opCount = t.state.OpCount
+		r.pendingLog = nil
+	case ColdPassive:
+		r.m.log.Checkpoint(uint32(r.group), logrec.Checkpoint{
+			Seq: t.state.JoinTS, OpCount: t.state.OpCount, State: t.state.State,
+		})
+	}
+}
+
+// handleFailover promotes a passive backup to primary: reconstruct the
+// primary's state and re-execute the invocations it may not have
+// answered. Responses for replayed operations are multicast normally;
+// clients that already received them suppress the duplicates, and
+// clients the dead primary never answered finally get their responses —
+// this is exactly the scenario of paper section 3, where a new primary
+// that never saw the original invocation could not produce the response.
+func (r *replica) handleFailover() {
+	r.m.failovers.Add(1)
+	var entries []logrec.Entry
+	switch r.style {
+	case WarmPassive:
+		// State is current as of the last sync; replay the log since.
+		entries = r.pendingLog
+		r.pendingLog = nil
+	case ColdPassive:
+		cp, logged, err := r.m.log.Recover(uint32(r.group))
+		if err == nil {
+			if err := r.app.SetState(cp.State); err != nil {
+				return
+			}
+			r.opCount = cp.OpCount
+		}
+		// With no checkpoint the application starts from its initial
+		// state and the full log replays.
+		entries = logged
+	default:
+		return
+	}
+	r.synced.Store(true)
+	for _, e := range entries {
+		msg, err := Decode(e.Data)
+		if err != nil {
+			continue
+		}
+		r.executeInvocation(msg, e.Seq, true)
+	}
+}
+
+// --- nested invocations ----------------------------------------------------
+
+// Handle lets a replicated application issue nested invocations on other
+// object groups. Obtain one from Mechanisms.Handle and call Invoke only
+// from within Application.Invoke: the operation identifiers of nested
+// invocations are derived from the timestamp of the parent invocation
+// being executed (figure 6), so every replica issues the identical
+// identifier and the target group executes the operation exactly once.
+type Handle struct {
+	m     *Mechanisms
+	group GroupID
+}
+
+// Handle returns the nested-invocation handle for this node's replica of
+// the group.
+func (m *Mechanisms) Handle(group GroupID) *Handle {
+	return &Handle{m: m, group: group}
+}
+
+// Invoke performs a nested invocation on the object identified by
+// objectKey from within the currently executing operation.
+func (h *Handle) Invoke(objectKey []byte, op string, args []byte, timeout time.Duration) (*cdr.Reader, error) {
+	dst, ok := h.m.GroupByKey(objectKey)
+	if !ok {
+		return nil, fmt.Errorf("replication: object key %q: %w", objectKey, ErrNoSuchGroup)
+	}
+	h.m.mu.Lock()
+	g, ok := h.m.groups[h.group]
+	if !ok || g.local == nil {
+		h.m.mu.Unlock()
+		return nil, fmt.Errorf("group %d: %w", h.group, ErrNotMember)
+	}
+	r := g.local
+	h.m.mu.Unlock()
+	if r.curParentTS == 0 {
+		return nil, errors.New("replication: nested Invoke outside an executing operation")
+	}
+	r.curChildSeq++
+	opID := OperationID{ParentTS: r.curParentTS, ChildSeq: r.curChildSeq}
+	rep, err := h.m.Invoke(h.group, UnusedClientID, dst, opID, giop.Request{
+		RequestID:        r.curChildSeq,
+		ResponseExpected: true,
+		ObjectKey:        objectKey,
+		Operation:        op,
+		Args:             args,
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return orb.ReplyReader(rep)
+}

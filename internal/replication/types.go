@@ -1,0 +1,178 @@
+// Package replication implements the Eternal Replication Mechanisms: the
+// component of the fault tolerance infrastructure that maintains strongly
+// consistent object replication on top of the Totem totally-ordered
+// multicast (paper section 2.2).
+//
+// It provides object groups with five replication styles (stateless, cold
+// passive, warm passive, active, active-with-voting), detection and
+// suppression of duplicate invocations and duplicate responses using the
+// operation identifiers of paper section 3.3 / figure 6, support for
+// nested invocations, deterministic primary election, and state transfer
+// to new and recovering replicas.
+package replication
+
+import (
+	"time"
+
+	"eternalgw/internal/memnet"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/totem"
+)
+
+// GroupID is the unique object-group identifier that addresses a
+// replicated object inside a fault tolerance domain. Replicas of an
+// object are contacted by multicasting to the object's group identifier,
+// never through TCP/IP (paper section 3).
+type GroupID uint32
+
+// Style is the replication style of an object group, matching the
+// user-specified fault tolerance properties listed in paper section 2.
+type Style uint8
+
+// Replication styles.
+const (
+	// Stateless replicas hold no state; any replica may execute any
+	// invocation independently.
+	Stateless Style = iota + 1
+	// ColdPassive keeps backups idle: only the primary executes; state
+	// reaches backups solely through checkpoints in the log, which a
+	// backup loads (and tops up with replayed invocations) on failover.
+	ColdPassive
+	// WarmPassive keeps backups loaded: only the primary executes, but
+	// backups apply periodic state synchronizations and log the
+	// invocation stream between them.
+	WarmPassive
+	// Active replication executes every invocation at every replica;
+	// duplicate responses are suppressed downstream.
+	Active
+	// ActiveWithVoting executes everywhere and the invoker accepts a
+	// result only when a majority of replicas return identical bytes.
+	ActiveWithVoting
+)
+
+// String returns the conventional name of the style.
+func (s Style) String() string {
+	switch s {
+	case Stateless:
+		return "stateless"
+	case ColdPassive:
+		return "cold-passive"
+	case WarmPassive:
+		return "warm-passive"
+	case Active:
+		return "active"
+	case ActiveWithVoting:
+		return "active-with-voting"
+	default:
+		return "unknown"
+	}
+}
+
+// OperationID uniquely identifies one operation (an invocation-response
+// pair), exactly as in figure 6 of the paper: ParentTS is the timestamp
+// (Totem sequence number) of the message that carried the invocation the
+// issuing group was executing when it issued this operation, and ChildSeq
+// is this operation's index in the issuer's sequence of invocations. The
+// operation identifier is determined identically at every replica of the
+// issuing group, which is what makes duplicate detection possible.
+type OperationID struct {
+	ParentTS uint64
+	ChildSeq uint32
+}
+
+// InvocationID is the full identifier of an invocation message:
+// (T_B_inv, (T_A_inv, S_A_inv)). The timestamp is filled in at the
+// receiving end from the totally-ordered sequence number.
+type InvocationID struct {
+	Timestamp uint64
+	Op        OperationID
+}
+
+// ResponseID is the full identifier of a response message:
+// (T_B_res, (T_A_inv, S_A_inv)). It shares the operation identifier with
+// its invocation.
+type ResponseID struct {
+	Timestamp uint64
+	Op        OperationID
+}
+
+// UnusedClientID is the TCP client identifier carried by messages
+// exchanged between replicated objects within the fault tolerance domain
+// ("some unused value" in figure 4c).
+const UnusedClientID uint64 = 0
+
+// Application is the interface a replicated object implements: servant
+// dispatch plus state capture and restoration for checkpointing and
+// state transfer. Implementations must be deterministic: identical state
+// and identical invocation streams must produce identical behaviour at
+// every replica.
+type Application interface {
+	orb.Servant
+	// State captures the full application state.
+	State() ([]byte, error)
+	// SetState replaces the application state.
+	SetState(state []byte) error
+}
+
+// Config parameterizes the replication mechanisms on one node.
+type Config struct {
+	// Node is the Totem node whose event stream these mechanisms consume.
+	Node *totem.Node
+	// NodeID is this node's identity (defaults to Node.ID()).
+	NodeID memnet.NodeID
+	// WarmSyncInterval is the number of executed operations between
+	// warm-passive state synchronizations. Zero means 8.
+	WarmSyncInterval int
+	// CheckpointInterval is the number of executed operations between
+	// cold-passive checkpoints written to the log. Zero means 32.
+	CheckpointInterval int
+	// DedupCapacity bounds the per-group duplicate-detection and
+	// response-cache tables. Zero means 16384 operations.
+	DedupCapacity int
+	// InvokeTimeout bounds waiting for a response. Zero means 10s.
+	InvokeTimeout time.Duration
+	// QuorumOf, when non-zero, enables majority-partition protection:
+	// while the totem ring holds fewer than QuorumOf/2+1 of the domain's
+	// processors, this node refuses to execute or issue invocations, so
+	// a minority partition cannot diverge from the majority (the
+	// partitionable-operation discipline of the Eternal papers, reference
+	// [6] of the paper). Zero disables the check: every partition
+	// component keeps serving, and reconciliation is the application's
+	// concern.
+	QuorumOf int
+}
+
+func (c *Config) applyDefaults() {
+	if c.NodeID == "" && c.Node != nil {
+		c.NodeID = c.Node.ID()
+	}
+	if c.WarmSyncInterval == 0 {
+		c.WarmSyncInterval = 8
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 32
+	}
+	if c.DedupCapacity == 0 {
+		c.DedupCapacity = 16384
+	}
+	if c.InvokeTimeout == 0 {
+		c.InvokeTimeout = 10 * time.Second
+	}
+}
+
+// Stats snapshots the mechanisms' counters. The duplicate-suppression
+// counters are the quantities the paper's gateway discussion revolves
+// around (sections 3.2-3.3).
+type Stats struct {
+	InvocationsSent      uint64
+	InvocationsExecuted  uint64
+	DuplicateInvocations uint64 // detected and suppressed
+	ResponsesSent        uint64
+	ResponsesDelivered   uint64
+	DuplicateResponses   uint64 // detected and suppressed
+	StateTransfers       uint64
+	StateSyncs           uint64
+	Checkpoints          uint64
+	Failovers            uint64
+	ReplayedInvocations  uint64
+}

@@ -1,0 +1,179 @@
+package replication
+
+import (
+	"fmt"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/memnet"
+)
+
+// Kind distinguishes the messages the fault tolerance infrastructure
+// multicasts inside a domain.
+type Kind uint8
+
+// Message kinds. Invocation and Response carry encapsulated IIOP
+// messages (figure 4b/4c); the rest are infrastructure control traffic.
+const (
+	KindInvocation Kind = iota + 1
+	KindResponse
+	KindCreateGroup
+	KindJoinGroup
+	KindLeaveGroup
+	KindStateTransfer
+	KindStateSync
+	// KindGatewayControl carries gateway-group housekeeping, e.g. the
+	// notification that a TCP client departed so every gateway can drop
+	// the state it stored on the client's behalf (paper section 3.5).
+	// The infrastructure only routes it to the destination group's
+	// observers.
+	KindGatewayControl
+	// KindDeleteGroup retires an object group everywhere: local replicas
+	// stop and the directory entry disappears.
+	KindDeleteGroup
+)
+
+// Header is the fault tolerance infrastructure and gateway header
+// prepended to every multicast message (figure 4). The message timestamp
+// of the paper is not a wire field: it is the Totem sequence number,
+// filled in by the replication mechanisms at the receiving end when the
+// message is delivered.
+type Header struct {
+	Kind Kind
+	// ClientID identifies the external TCP client on whose behalf the
+	// gateway issued an invocation; it is UnusedClientID for messages
+	// exchanged between replicated objects (figure 4c).
+	ClientID uint64
+	// SrcGroup is the sending object group.
+	SrcGroup GroupID
+	// DstGroup is the target object group.
+	DstGroup GroupID
+	// Op is the operation identifier shared by an invocation and its
+	// responses (figure 6).
+	Op OperationID
+}
+
+// Message is one fault-tolerance multicast: header plus payload. For
+// invocations the payload is an encapsulated IIOP Request; for responses
+// an encapsulated IIOP Reply; control kinds define their own payloads.
+type Message struct {
+	Header  Header
+	Payload []byte
+}
+
+// opKey identifies one operation for duplicate detection: the paper's
+// routing triple (destination group, source group, TCP client id) plus
+// the operation identifier.
+type opKey struct {
+	src      GroupID
+	clientID uint64
+	op       OperationID
+}
+
+// Encode serializes a message for multicasting.
+func Encode(m Message) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(byte(m.Header.Kind))
+	w.WriteULongLong(m.Header.ClientID)
+	w.WriteULong(uint32(m.Header.SrcGroup))
+	w.WriteULong(uint32(m.Header.DstGroup))
+	w.WriteULongLong(m.Header.Op.ParentTS)
+	w.WriteULong(m.Header.Op.ChildSeq)
+	w.WriteOctetSeq(m.Payload)
+	return w.Bytes()
+}
+
+// Decode parses a multicast message.
+func Decode(b []byte) (Message, error) {
+	r := cdr.NewReader(b, cdr.BigEndian)
+	var m Message
+	m.Header.Kind = Kind(r.ReadOctet())
+	m.Header.ClientID = r.ReadULongLong()
+	m.Header.SrcGroup = GroupID(r.ReadULong())
+	m.Header.DstGroup = GroupID(r.ReadULong())
+	m.Header.Op.ParentTS = r.ReadULongLong()
+	m.Header.Op.ChildSeq = r.ReadULong()
+	payload := r.ReadOctetSeq()
+	if err := r.Err(); err != nil {
+		return Message{}, fmt.Errorf("replication: decode: %w", err)
+	}
+	m.Payload = append([]byte(nil), payload...)
+	return m, nil
+}
+
+// createGroupPayload carries group creation parameters.
+type createGroupPayload struct {
+	Style     Style
+	ObjectKey []byte
+}
+
+func encodeCreateGroup(p createGroupPayload) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(byte(p.Style))
+	w.WriteOctetSeq(p.ObjectKey)
+	return w.Bytes()
+}
+
+func decodeCreateGroup(b []byte) (createGroupPayload, error) {
+	r := cdr.NewReader(b, cdr.BigEndian)
+	var p createGroupPayload
+	p.Style = Style(r.ReadOctet())
+	p.ObjectKey = append([]byte(nil), r.ReadOctetSeq()...)
+	if err := r.Err(); err != nil {
+		return createGroupPayload{}, fmt.Errorf("replication: decode create-group: %w", err)
+	}
+	return p, nil
+}
+
+// memberPayload carries join/leave announcements.
+type memberPayload struct {
+	Node memnet.NodeID
+}
+
+func encodeMember(p memberPayload) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteString(string(p.Node))
+	return w.Bytes()
+}
+
+func decodeMember(b []byte) (memberPayload, error) {
+	r := cdr.NewReader(b, cdr.BigEndian)
+	p := memberPayload{Node: memnet.NodeID(r.ReadString())}
+	if err := r.Err(); err != nil {
+		return memberPayload{}, fmt.Errorf("replication: decode member: %w", err)
+	}
+	return p, nil
+}
+
+// statePayload carries a state transfer or synchronization.
+type statePayload struct {
+	// Target is the joining node a transfer is addressed to; empty for
+	// warm-passive synchronizations addressed to the whole group.
+	Target memnet.NodeID
+	// JoinTS is the totem timestamp of the join this transfer answers.
+	JoinTS uint64
+	// OpCount is the number of operations folded into the state.
+	OpCount uint64
+	State   []byte
+}
+
+func encodeState(p statePayload) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteString(string(p.Target))
+	w.WriteULongLong(p.JoinTS)
+	w.WriteULongLong(p.OpCount)
+	w.WriteOctetSeq(p.State)
+	return w.Bytes()
+}
+
+func decodeState(b []byte) (statePayload, error) {
+	r := cdr.NewReader(b, cdr.BigEndian)
+	var p statePayload
+	p.Target = memnet.NodeID(r.ReadString())
+	p.JoinTS = r.ReadULongLong()
+	p.OpCount = r.ReadULongLong()
+	p.State = append([]byte(nil), r.ReadOctetSeq()...)
+	if err := r.Err(); err != nil {
+		return statePayload{}, fmt.Errorf("replication: decode state: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,235 @@
+// Package thinclient implements the thin client-side interception layer
+// of paper section 3.5: the support an enhanced client-side ORB would
+// provide so that unreplicated CORBA clients benefit from redundant
+// gateways.
+//
+// The layer connects the client to the first gateway listed in a
+// multi-profile IOR, inserts a unique client identifier into the service
+// context of every outgoing IIOP request, and — when the connected
+// gateway fails — transparently traverses to the next profile, reconnects
+// and reissues the pending invocations with their original request
+// identifiers. The identifiers let the gateways detect the reissues, so
+// operations are neither lost nor executed twice.
+package thinclient
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/giop"
+	"eternalgw/internal/ior"
+	"eternalgw/internal/orb"
+)
+
+// Errors reported by the layer.
+var (
+	// ErrAllGatewaysDown reports that every profile in the IOR was tried
+	// and none produced a response.
+	ErrAllGatewaysDown = errors.New("thinclient: all gateways unreachable")
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// CallTimeout bounds one attempt against one gateway; on expiry the
+	// layer fails over to the next profile. Zero means 5s.
+	CallTimeout time.Duration
+	// DialTimeout bounds one connection attempt. Zero means 2s.
+	DialTimeout time.Duration
+	// MaxRounds is how many times the full profile list is traversed
+	// before giving up. Zero means 2.
+	MaxRounds int
+	// UniqueID overrides the randomly generated client identifier.
+	// Replicated bridge clients (gateways of one domain calling into
+	// another, figure 1) use a deterministic identifier so that every
+	// bridge replica's requests deduplicate to one operation at the
+	// target domain.
+	UniqueID []byte
+}
+
+func (c *Config) applyDefaults() {
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 2
+	}
+}
+
+// Stats snapshots the layer's counters.
+type Stats struct {
+	Calls     uint64
+	Failovers uint64 // profile switches performed
+	Reissues  uint64 // invocations reissued after a failover
+}
+
+// Client is an enhanced unreplicated client bound to one replicated
+// object through a multi-profile IOR. It is safe for concurrent use.
+type Client struct {
+	cfg      Config
+	profiles []ior.IIOPProfile
+	uniqueID []byte
+
+	mu      sync.Mutex
+	conn    *orb.Conn
+	gen     int // connection generation; bumped on every reconnect
+	profile int // index of the profile the current connection uses
+	nextID  uint32
+	closed  bool
+
+	calls     uint64
+	failovers uint64
+	reissues  uint64
+}
+
+// Dial builds a client from a (possibly multi-profile) IOR and connects
+// to the first reachable gateway.
+func Dial(ref ior.Ref, cfg Config) (*Client, error) {
+	cfg.applyDefaults()
+	profiles, err := ref.IIOPProfiles()
+	if err != nil {
+		return nil, err
+	}
+	id := cfg.UniqueID
+	if len(id) == 0 {
+		id = make([]byte, 16)
+		if _, err := rand.Read(id); err != nil {
+			return nil, fmt.Errorf("thinclient: generating client id: %w", err)
+		}
+	}
+	c := &Client{cfg: cfg, profiles: profiles, uniqueID: id, nextID: 1, profile: -1}
+	if _, _, err := c.ensureConn(-1); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// UniqueID returns the client identifier inserted into every request's
+// service context.
+func (c *Client) UniqueID() []byte { return append([]byte(nil), c.uniqueID...) }
+
+// Gateway returns the address of the currently connected gateway.
+func (c *Client) Gateway() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.profile < 0 {
+		return ""
+	}
+	return c.profiles[c.profile].Addr()
+}
+
+// Stats snapshots the counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Calls: c.calls, Failovers: c.failovers, Reissues: c.reissues}
+}
+
+// Close severs the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// ensureConn returns a live connection. If badGen names the caller's
+// last-seen generation, the connection is assumed broken and the layer
+// fails over to the next profile; pass -1 to accept the current one.
+func (c *Client) ensureConn(badGen int) (*orb.Conn, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, orb.ErrClosed
+	}
+	if c.conn != nil && c.gen != badGen {
+		return c.conn, c.gen, nil
+	}
+	// The current connection (if any) is broken: skip to the next
+	// profile, as the enhanced ORB of section 3.5 would.
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	start := c.profile
+	attempts := len(c.profiles) * c.cfg.MaxRounds
+	for i := 1; i <= attempts; i++ {
+		idx := (start + i) % len(c.profiles)
+		if idx < 0 {
+			idx += len(c.profiles)
+		}
+		conn, err := orb.DialTimeout(c.profiles[idx].Addr(), c.cfg.DialTimeout)
+		if err != nil {
+			continue
+		}
+		if start >= 0 && idx != start {
+			c.failovers++
+		}
+		c.conn = conn
+		c.profile = idx
+		c.gen++
+		return c.conn, c.gen, nil
+	}
+	return nil, 0, ErrAllGatewaysDown
+}
+
+// Call invokes op on the referenced object, transparently failing over
+// between gateways. The returned reader is positioned at the reply body.
+func (c *Client) Call(op string, args []byte) (*cdr.Reader, error) {
+	rep, err := c.Invoke(op, args)
+	if err != nil {
+		return nil, err
+	}
+	return orb.ReplyReader(rep)
+}
+
+// Invoke performs the request/reply exchange and returns the raw reply.
+func (c *Client) Invoke(op string, args []byte) (giop.Reply, error) {
+	c.mu.Lock()
+	reqID := c.nextID
+	c.nextID++
+	c.calls++
+	c.mu.Unlock()
+
+	sc := []giop.ServiceContext{{ID: giop.FTClientContextID, Data: c.uniqueID}}
+	badGen := -1
+	var lastErr error
+	// One attempt per profile per round; the request id never changes,
+	// so a gateway that already saw the operation (directly or through
+	// the gateway group's record) recognizes the reissue.
+	for attempt := 0; attempt < len(c.profiles)*c.cfg.MaxRounds+1; attempt++ {
+		conn, gen, err := c.ensureConn(badGen)
+		if err != nil {
+			return giop.Reply{}, err
+		}
+		c.mu.Lock()
+		objectKey := c.profiles[c.profile].ObjectKey
+		if attempt > 0 {
+			c.reissues++
+		}
+		c.mu.Unlock()
+
+		rep, err := conn.Invoke(objectKey, op, args, orb.InvokeOptions{
+			ServiceContexts: sc,
+			RequestID:       reqID,
+			Timeout:         c.cfg.CallTimeout,
+		})
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = err
+		badGen = gen
+	}
+	return giop.Reply{}, fmt.Errorf("%w (last error: %v)", ErrAllGatewaysDown, lastErr)
+}

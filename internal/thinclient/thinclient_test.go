@@ -1,0 +1,297 @@
+package thinclient_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/domain"
+	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/ior"
+	"eternalgw/internal/replication"
+	"eternalgw/internal/thinclient"
+	"eternalgw/internal/totem"
+)
+
+const (
+	grpCounter replication.GroupID = 200
+	keyCounter                     = "app/counter"
+)
+
+func fastDomain(t *testing.T, nodes int) *domain.Domain {
+	t.Helper()
+	d, err := domain.New(domain.Config{
+		Name:  "ft",
+		Nodes: nodes,
+		Totem: totem.Config{
+			IdleHold:        100 * time.Microsecond,
+			TokenRetransmit: 10 * time.Millisecond,
+			FailTimeout:     80 * time.Millisecond,
+			GatherTimeout:   20 * time.Millisecond,
+		},
+		GatewayInvokeTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// counterApp is a deterministic counter.
+type counterApp struct {
+	mu    sync.Mutex
+	total int64
+}
+
+func (a *counterApp) Invoke(op string, args *cdr.Reader, reply *cdr.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "add":
+		a.total += args.ReadLongLong()
+		reply.WriteLongLong(a.total)
+		return args.Err()
+	case "get":
+		reply.WriteLongLong(a.total)
+		return nil
+	default:
+		return fmt.Errorf("counterApp: unknown op %q", op)
+	}
+}
+
+func (a *counterApp) State() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(a.total)
+	return w.Bytes(), nil
+}
+
+func (a *counterApp) SetState(state []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := cdr.NewReader(state, cdr.BigEndian)
+	a.total = r.ReadLongLong()
+	return r.Err()
+}
+
+func (a *counterApp) value() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+func deploy(t *testing.T, d *domain.Domain, replicas, gateways int) ([]*counterApp, ior.Ref) {
+	t.Helper()
+	var (
+		mu   sync.Mutex
+		apps []*counterApp
+	)
+	err := d.Manager().CreateReplicatedObject(grpCounter, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: replicas,
+		MinReplicas:     replicas,
+		ObjectKey:       []byte(keyCounter),
+	}, func() (replication.Application, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		app := &counterApp{}
+		apps = append(apps, app)
+		return app, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < gateways; i++ {
+		if _, err := d.AddGateway(d.Nodes()-1-i, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := d.PublishIOR("IDL:eternalgw/Counter:1.0", []byte(keyCounter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apps, ref
+}
+
+func addArgs(v int64) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteLongLong(v)
+	return w.Bytes()
+}
+
+func TestCallThroughFirstProfile(t *testing.T) {
+	d := fastDomain(t, 4)
+	_, ref := deploy(t, d, 2, 2)
+	c, err := thinclient.Dial(ref, thinclient.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	r, err := c.Call("add", addArgs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReadLongLong(); got != 5 || r.Err() != nil {
+		t.Fatalf("add = %d, err %v", got, r.Err())
+	}
+	if c.Gateway() != d.Gateways()[0].Addr() {
+		t.Fatalf("connected to %s, first profile is %s", c.Gateway(), d.Gateways()[0].Addr())
+	}
+	if st := c.Stats(); st.Calls != 1 || st.Failovers != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFailoverToNextGateway(t *testing.T) {
+	// Paper section 3.5: the gateway dies; the interception layer skips
+	// to the next profile, reconnects and reissues pending invocations.
+	// No operation is lost and none executes twice.
+	d := fastDomain(t, 4)
+	apps, ref := deploy(t, d, 2, 3)
+	c, err := thinclient.Dial(ref, thinclient.Config{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const calls = 30
+	gws := d.Gateways()
+	for i := 1; i <= calls; i++ {
+		if i == 10 {
+			_ = gws[0].Close()
+		}
+		if i == 20 {
+			_ = gws[1].Close()
+		}
+		r, err := c.Call("add", addArgs(1))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			t.Fatalf("call %d returned %d: operation lost or duplicated", i, got)
+		}
+	}
+	st := c.Stats()
+	if st.Failovers < 2 {
+		t.Fatalf("failovers = %d, want >= 2", st.Failovers)
+	}
+	// Exactly-once: every replica executed exactly `calls` operations.
+	for i, app := range apps {
+		if got := app.value(); got != calls {
+			t.Fatalf("replica %d total = %d, want %d", i, got, calls)
+		}
+	}
+	if c.Gateway() != gws[2].Addr() {
+		t.Fatalf("final gateway = %s, want %s", c.Gateway(), gws[2].Addr())
+	}
+}
+
+func TestConcurrentCallersDuringFailover(t *testing.T) {
+	d := fastDomain(t, 4)
+	apps, ref := deploy(t, d, 2, 2)
+	c, err := thinclient.Dial(ref, thinclient.Config{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const workers, per = 4, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	kill := make(chan struct{})
+	go func() {
+		<-kill
+		_ = d.Gateways()[0].Close()
+	}()
+	var once sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i == per/2 {
+					once.Do(func() { close(kill) })
+				}
+				if _, err := c.Call("add", addArgs(1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, app := range apps {
+		if got := app.value(); got != workers*per {
+			t.Fatalf("replica %d total = %d, want %d", i, got, workers*per)
+		}
+	}
+}
+
+func TestAllGatewaysDown(t *testing.T) {
+	d := fastDomain(t, 3)
+	_, ref := deploy(t, d, 1, 2)
+	c, err := thinclient.Dial(ref, thinclient.Config{
+		CallTimeout: 300 * time.Millisecond,
+		DialTimeout: 300 * time.Millisecond,
+		MaxRounds:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	for _, gw := range d.Gateways() {
+		_ = gw.Close()
+	}
+	_, err = c.Call("get", nil)
+	if !errors.Is(err, thinclient.ErrAllGatewaysDown) {
+		t.Fatalf("err = %v, want ErrAllGatewaysDown", err)
+	}
+}
+
+func TestDialFailsWithNoProfiles(t *testing.T) {
+	if _, err := thinclient.Dial(ior.Ref{TypeID: "IDL:X:1.0"}, thinclient.Config{}); err == nil {
+		t.Fatal("expected error for IOR without IIOP profiles")
+	}
+}
+
+func TestUniqueIDsDiffer(t *testing.T) {
+	d := fastDomain(t, 3)
+	_, ref := deploy(t, d, 1, 1)
+	c1, err := thinclient.Dial(ref, thinclient.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c1.Close() }()
+	c2, err := thinclient.Dial(ref, thinclient.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+	if bytes.Equal(c1.UniqueID(), c2.UniqueID()) {
+		t.Fatal("two clients generated the same unique id")
+	}
+}
+
+func TestConfiguredUniqueID(t *testing.T) {
+	d := fastDomain(t, 3)
+	_, ref := deploy(t, d, 1, 1)
+	c, err := thinclient.Dial(ref, thinclient.Config{UniqueID: []byte("bridge-7")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if string(c.UniqueID()) != "bridge-7" {
+		t.Fatalf("unique id = %q", c.UniqueID())
+	}
+}

@@ -1,0 +1,30 @@
+package totem
+
+import (
+	"testing"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/memnet"
+)
+
+// FuzzWireDecoders feeds arbitrary bytes through the ring's wire
+// decoders.
+func FuzzWireDecoders(f *testing.F) {
+	f.Add(encodeRegular(regularMsg{RingID: 1, Seq: 2, Sender: "n", Payload: []byte("p")}))
+	f.Add(encodeToken(token{RingID: 1, TokenID: 2, Seq: 3, Succ: "n", Rtr: []rtrEntry{{Seq: 1}}}))
+	f.Add(encodeJoin(joinMsg{Sender: "n", Alive: []memnet.NodeID{"n"}, RingID: 1, Highest: 2, Aru: 1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		r := cdr.NewReader(data, cdr.BigEndian)
+		switch r.ReadOctet() {
+		case kindRegular:
+			_, _ = decodeRegular(r)
+		case kindToken:
+			_, _ = decodeToken(r)
+		case kindJoin:
+			_, _ = decodeJoin(r)
+		}
+	})
+}

@@ -1,0 +1,775 @@
+package totem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/memnet"
+)
+
+// EventType distinguishes the events a node emits.
+type EventType uint8
+
+// Event types. Deliveries and configuration changes arrive on one channel
+// so the application observes membership changes ordered with respect to
+// message deliveries (virtual synchrony).
+const (
+	EventDeliver EventType = iota + 1
+	EventConfig
+)
+
+// Event is one ordered event: a message delivery or a ring installation.
+type Event struct {
+	Type     EventType
+	Delivery Delivery     // valid when Type == EventDeliver
+	Config   ConfigChange // valid when Type == EventConfig
+}
+
+// ErrStopped is returned by Multicast after Stop.
+var ErrStopped = errors.New("totem: node stopped")
+
+const eventBufSize = 4096
+
+// Node is one member of a Totem ring. Create with Start, stop with Stop.
+// All protocol state is owned by a single goroutine; the public methods
+// communicate with it through channels.
+type Node struct {
+	cfg Config
+	ep  Transport
+
+	events chan Event
+	sendq  chan []byte
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu         sync.Mutex
+	curMembers []memnet.NodeID
+	curRingID  uint64
+
+	broadcastN     atomic.Uint64
+	deliveredN     atomic.Uint64
+	retransmittedN atomic.Uint64
+	skippedN       atomic.Uint64
+	tokenPassN     atomic.Uint64
+	reconfigN      atomic.Uint64
+
+	// protocol state, owned by the run goroutine
+	ring         []memnet.NodeID
+	ringID       uint64
+	gathering    bool
+	buffer       map[uint64]regularMsg
+	skipped      map[uint64]bool
+	deliveredSeq uint64 // contiguous received-and-delivered watermark (local aru)
+	highest      uint64
+	pending      [][]byte
+	lastTokenID  uint64
+
+	lastSentToken *token
+	tokenResendAt time.Time
+
+	heldToken  *token
+	holdUntil  time.Time
+	workInHold bool
+
+	alive          map[memnet.NodeID]bool
+	joinHighest    map[memnet.NodeID]uint64
+	joinAru        map[memnet.NodeID]uint64
+	proposedRingID uint64
+	gatherDeadline time.Time
+
+	failDeadline time.Time
+}
+
+// Start creates a node and launches its protocol goroutine. The founding
+// members immediately run a membership exchange to install the first
+// ring, so callers should wait for the initial EventConfig before
+// multicasting if they need the full ring assembled.
+func Start(cfg Config) (*Node, error) {
+	cfg.applyDefaults()
+	if cfg.Endpoint == nil {
+		return nil, errors.New("totem: config needs an endpoint")
+	}
+	if cfg.ID == "" {
+		cfg.ID = cfg.Endpoint.ID()
+	}
+	if cfg.ID != cfg.Endpoint.ID() {
+		return nil, fmt.Errorf("totem: id %q does not match endpoint %q", cfg.ID, cfg.Endpoint.ID())
+	}
+	n := &Node{
+		cfg:     cfg,
+		ep:      cfg.Endpoint,
+		events:  make(chan Event, eventBufSize),
+		sendq:   make(chan []byte, 1024),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		buffer:  make(map[uint64]regularMsg),
+		skipped: make(map[uint64]bool),
+	}
+	go n.run()
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() memnet.NodeID { return n.cfg.ID }
+
+// Events returns the ordered event stream. The consumer must keep
+// draining it; a full event buffer blocks the protocol goroutine, which
+// stalls the ring (and will eventually look like a failure to peers).
+func (n *Node) Events() <-chan Event { return n.events }
+
+// Multicast submits a payload for totally-ordered delivery to every ring
+// member (including this node). The payload must not be mutated after
+// the call.
+func (n *Node) Multicast(payload []byte) error {
+	select {
+	case <-n.stop:
+		return ErrStopped
+	default:
+	}
+	select {
+	case n.sendq <- payload:
+		return nil
+	case <-n.stop:
+		return ErrStopped
+	}
+}
+
+// Members returns the most recently installed ring.
+func (n *Node) Members() []memnet.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]memnet.NodeID, len(n.curMembers))
+	copy(out, n.curMembers)
+	return out
+}
+
+// RingID returns the id of the most recently installed ring.
+func (n *Node) RingID() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.curRingID
+}
+
+// Stats returns a snapshot of protocol counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Broadcast:     n.broadcastN.Load(),
+		Delivered:     n.deliveredN.Load(),
+		Retransmitted: n.retransmittedN.Load(),
+		Skipped:       n.skippedN.Load(),
+		TokenPasses:   n.tokenPassN.Load(),
+		Reconfigs:     n.reconfigN.Load(),
+	}
+}
+
+// Stop terminates the protocol goroutine and waits for it to exit.
+// Stop is idempotent.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}
+
+// run is the protocol event loop; it exclusively owns all ring state.
+func (n *Node) run() {
+	defer close(n.done)
+
+	// Bootstrap: gather with the configured founding members as the
+	// initial candidate set, so all founders install the same first ring
+	// without waiting out a failure timeout.
+	n.startGather()
+	for _, m := range n.cfg.Members {
+		n.alive[m] = true
+	}
+
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		n.rearm(timer)
+		select {
+		case <-n.stop:
+			return
+		case pkt := <-n.ep.Recv():
+			n.handlePacket(pkt)
+		case payload := <-n.sendq:
+			n.pending = append(n.pending, payload)
+			n.drainSendq()
+			if n.heldToken != nil {
+				// The token is parked here idle; broadcast immediately
+				// and pass it on.
+				t := *n.heldToken
+				n.heldToken = nil
+				n.holdUntil = time.Time{}
+				n.processToken(t)
+			}
+		case <-timer.C:
+			n.handleTimeouts(time.Now())
+		}
+	}
+}
+
+// drainSendq moves every queued submission into pending without blocking.
+func (n *Node) drainSendq() {
+	for {
+		select {
+		case p := <-n.sendq:
+			n.pending = append(n.pending, p)
+		default:
+			return
+		}
+	}
+}
+
+// rearm points the shared timer at the earliest pending deadline.
+func (n *Node) rearm(timer *time.Timer) {
+	next := time.Time{}
+	earliest := func(t time.Time) {
+		if t.IsZero() {
+			return
+		}
+		if next.IsZero() || t.Before(next) {
+			next = t
+		}
+	}
+	earliest(n.failDeadline)
+	earliest(n.tokenResendAt)
+	earliest(n.gatherDeadline)
+	if n.heldToken != nil {
+		earliest(n.holdUntil)
+	}
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	if next.IsZero() {
+		timer.Reset(time.Hour)
+		return
+	}
+	d := time.Until(next)
+	if d < 0 {
+		d = 0
+	}
+	timer.Reset(d)
+}
+
+func (n *Node) handleTimeouts(now time.Time) {
+	if n.heldToken != nil && !n.holdUntil.After(now) {
+		n.finishHold()
+	}
+	if !n.tokenResendAt.IsZero() && !n.tokenResendAt.After(now) && n.lastSentToken != nil {
+		// No evidence of progress since forwarding: resend the token.
+		n.broadcastRaw(encodeToken(*n.lastSentToken))
+		n.tokenResendAt = now.Add(n.cfg.TokenRetransmit)
+	}
+	if !n.gatherDeadline.IsZero() && !n.gatherDeadline.After(now) {
+		n.installRing()
+	}
+	if !n.failDeadline.IsZero() && !n.failDeadline.After(now) && !n.gathering {
+		n.startGather()
+	}
+}
+
+func (n *Node) handlePacket(pkt memnet.Packet) {
+	if len(pkt.Payload) == 0 {
+		return
+	}
+	r := cdr.NewReader(pkt.Payload, cdr.BigEndian)
+	switch r.ReadOctet() {
+	case kindRegular:
+		if m, err := decodeRegular(r); err == nil {
+			n.handleRegular(m)
+		}
+	case kindToken:
+		if t, err := decodeToken(r); err == nil {
+			n.handleToken(t)
+		}
+	case kindJoin:
+		if j, err := decodeJoin(r); err == nil {
+			n.handleJoin(j)
+		}
+	}
+}
+
+func (n *Node) handleRegular(m regularMsg) {
+	if m.RingID != n.ringID {
+		if m.RingID > n.ringID && !n.gathering {
+			// Traffic from a newer configuration: we missed a
+			// membership change; rejoin.
+			n.startGather()
+		} else if m.RingID < n.ringID && !n.inRing(m.Sender) && !n.gathering {
+			// Traffic from a concurrent foreign ring (partition
+			// healing): trigger a merge.
+			n.startGather()
+		}
+		return
+	}
+	if !n.inRing(m.Sender) {
+		// A foreign ring that happens to share our ring id (both sides
+		// of a partition increment in lockstep): merge, and do not let
+		// its sequence numbers corrupt our buffer.
+		if !n.gathering {
+			n.startGather()
+		}
+		return
+	}
+	if m.Seq <= n.deliveredSeq || n.skipped[m.Seq] {
+		return // already delivered or declared unrecoverable
+	}
+	if _, ok := n.buffer[m.Seq]; ok {
+		return // duplicate
+	}
+	// Genuinely new ring traffic counts as liveness; duplicates and
+	// stale retransmissions above do not, so a wedged ring (dead token
+	// holder, endlessly resent stale token) still trips the fail timer.
+	n.touchLiveness()
+	n.buffer[m.Seq] = m
+	if m.Seq > n.highest {
+		n.highest = m.Seq
+	}
+	// Evidence of ring progress cancels a pending token resend.
+	if n.lastSentToken != nil && m.Seq > n.lastSentToken.Seq {
+		n.clearTokenResend()
+	}
+	n.tryDeliver()
+}
+
+func (n *Node) handleToken(t token) {
+	if t.RingID != n.ringID {
+		if t.RingID > n.ringID && !n.gathering {
+			n.startGather()
+		} else if t.RingID < n.ringID && !n.inRing(t.Succ) && !n.gathering {
+			// A concurrent foreign ring (partition healing): merge.
+			n.startGather()
+		}
+		return
+	}
+	if !n.inRing(t.Succ) {
+		// Foreign ring sharing our ring id: merge.
+		if !n.gathering {
+			n.startGather()
+		}
+		return
+	}
+	if t.TokenID <= n.lastTokenID {
+		// Stale duplicate from a retransmission. Deliberately not
+		// liveness: a ring wedged on a dead member sees only resends of
+		// the same token, and must still reconfigure.
+		return
+	}
+	n.lastTokenID = t.TokenID
+	n.touchLiveness()
+	// Progress evidence: a token newer than the one we forwarded means
+	// the successor processed ours, so stop retransmitting it. Our own
+	// broadcast echo carries exactly the TokenID we sent and must not
+	// count as evidence.
+	if n.lastSentToken != nil && t.TokenID > n.lastSentToken.TokenID {
+		n.clearTokenResend()
+	}
+	if n.gathering {
+		return
+	}
+	if t.Succ != n.cfg.ID {
+		// Token observed in passing (tokens are broadcast so every node
+		// can use them for liveness and merge detection).
+		return
+	}
+	n.clearTokenResend()
+	n.processToken(t)
+}
+
+// processToken performs one token visit: apply skips, serve and update
+// retransmission requests, broadcast pending messages, maintain the aru
+// watermark, age requests (leader only), then forward.
+func (n *Node) processToken(t token) {
+	work := false
+
+	// Apply the skip list: declared-unrecoverable sequence numbers count
+	// as received-but-empty so delivery can proceed past them.
+	for _, s := range t.Skip {
+		if s > n.deliveredSeq {
+			if _, have := n.buffer[s]; !have && !n.skipped[s] {
+				n.skipped[s] = true
+			}
+		}
+	}
+	n.tryDeliver()
+
+	// Serve retransmission requests we can satisfy. A request is dropped
+	// only once served, skipped, or below the confirmed stability
+	// watermark (which proves the requester received it); a node must
+	// not drop requests merely because it has delivered past them
+	// itself.
+	kept := t.Rtr[:0]
+	for _, e := range t.Rtr {
+		if m, ok := n.buffer[e.Seq]; ok {
+			m.RingID = n.ringID // restamp for the current configuration
+			n.broadcastRaw(encodeRegular(m))
+			n.retransmittedN.Add(1)
+			work = true
+			continue
+		}
+		if n.skipped[e.Seq] || e.Seq <= t.Stable {
+			continue // resolved
+		}
+		kept = append(kept, e)
+	}
+	t.Rtr = kept
+
+	// Request what we are missing.
+	for s := n.deliveredSeq + 1; s <= t.Seq; s++ {
+		if _, ok := n.buffer[s]; ok || n.skipped[s] {
+			continue
+		}
+		if !t.hasRtr(s) {
+			t.Rtr = append(t.Rtr, rtrEntry{Seq: s})
+		}
+	}
+
+	// Broadcast pending messages, consuming new sequence numbers. Flow
+	// control caps the visit twice: by the member's fair share of the
+	// rotation window (so an eager early member cannot starve the rest)
+	// and by what is left of the window itself.
+	n.drainSendq()
+	burst := n.cfg.MaxBurst
+	if n.cfg.WindowSize > 0 && len(n.ring) > 0 {
+		quota := n.cfg.WindowSize / len(n.ring)
+		if quota < 1 {
+			quota = 1
+		}
+		if quota < burst {
+			burst = quota
+		}
+		if remaining := n.cfg.WindowSize - int(t.Spent); remaining < burst {
+			burst = remaining
+		}
+	}
+	for len(n.pending) > 0 && burst > 0 {
+		payload := n.pending[0]
+		n.pending = n.pending[1:]
+		burst--
+		t.Seq++
+		m := regularMsg{RingID: n.ringID, Seq: t.Seq, Sender: n.cfg.ID, Payload: payload}
+		n.buffer[t.Seq] = m
+		if t.Seq > n.highest {
+			n.highest = t.Seq
+		}
+		n.broadcastRaw(encodeRegular(m))
+		n.broadcastN.Add(1)
+		t.Spent++
+		work = true
+	}
+	n.tryDeliver()
+
+	// Stability accounting. Every node folds its own all-received-up-to
+	// watermark into the rotation minimum. When the token reaches the
+	// leader, the accumulated minimum covers every member's report since
+	// the leader's previous visit — one full rotation — so the leader
+	// promotes it to the confirmed Stable watermark and starts a fresh
+	// rotation minimum. Garbage collection uses only Stable, which
+	// guarantees no node discards a message some member still lacks.
+	myAru := n.deliveredSeq
+	if myAru < t.Aru {
+		t.Aru = myAru
+	}
+	isLeader := len(n.ring) > 0 && n.ring[0] == n.cfg.ID
+	if isLeader {
+		if t.Aru > t.Stable {
+			t.Stable = t.Aru
+			work = true
+		}
+		t.Aru = myAru
+		// A new rotation begins: reset the flow-control window.
+		t.Spent = 0
+	}
+
+	// Garbage-collect messages everyone is confirmed to have received.
+	n.gc(t.Stable)
+	kept2 := t.Skip[:0]
+	for _, s := range t.Skip {
+		if s > t.Stable {
+			kept2 = append(kept2, s)
+		}
+	}
+	t.Skip = kept2
+
+	// The leader ages unsatisfied requests once per rotation; requests
+	// that survive SkipAge rotations are declared unrecoverable: no
+	// surviving member holds the message (and therefore none delivered
+	// it), so agreement is preserved by skipping it everywhere.
+	if isLeader {
+		kept3 := t.Rtr[:0]
+		for _, e := range t.Rtr {
+			e.Age++
+			if int(e.Age) > n.cfg.SkipAge {
+				t.Skip = append(t.Skip, e.Seq)
+				if e.Seq > n.deliveredSeq && !n.skipped[e.Seq] {
+					n.skipped[e.Seq] = true
+				}
+				n.skippedN.Add(1)
+				work = true
+				continue
+			}
+			kept3 = append(kept3, e)
+		}
+		t.Rtr = kept3
+		n.tryDeliver()
+	}
+
+	// Forward immediately if this visit did work or left work pending;
+	// otherwise hold briefly to stop an idle ring from spinning.
+	n.heldToken = &t
+	n.workInHold = work || len(t.Rtr) > 0 || t.Aru < t.Seq
+	if n.workInHold {
+		n.finishHold()
+		return
+	}
+	n.holdUntil = time.Now().Add(n.cfg.IdleHold)
+}
+
+// finishHold forwards the held token to the ring successor.
+func (n *Node) finishHold() {
+	t := n.heldToken
+	n.heldToken = nil
+	n.holdUntil = time.Time{}
+	if t == nil {
+		return
+	}
+	t.TokenID++
+	t.Succ = n.successor()
+	sent := *t
+	n.lastSentToken = &sent
+	n.tokenResendAt = time.Now().Add(n.cfg.TokenRetransmit)
+	n.broadcastRaw(encodeToken(*t))
+	n.tokenPassN.Add(1)
+}
+
+// successor returns the next member after this node on the ring.
+func (n *Node) successor() memnet.NodeID {
+	for i, m := range n.ring {
+		if m == n.cfg.ID {
+			return n.ring[(i+1)%len(n.ring)]
+		}
+	}
+	// Not on the ring (should not happen operationally); loop to self so
+	// the token is not lost.
+	return n.cfg.ID
+}
+
+func (n *Node) clearTokenResend() {
+	n.lastSentToken = nil
+	n.tokenResendAt = time.Time{}
+}
+
+// tryDeliver delivers buffered messages in contiguous sequence order.
+func (n *Node) tryDeliver() {
+	for {
+		next := n.deliveredSeq + 1
+		if n.skipped[next] {
+			n.deliveredSeq = next
+			continue
+		}
+		m, ok := n.buffer[next]
+		if !ok {
+			return
+		}
+		n.deliveredSeq = next
+		n.deliveredN.Add(1)
+		n.emit(Event{Type: EventDeliver, Delivery: Delivery{
+			Seq:     m.Seq,
+			RingID:  m.RingID,
+			Sender:  m.Sender,
+			Payload: m.Payload,
+		}})
+	}
+}
+
+// gc discards buffered and skipped entries at or below the stability
+// watermark: every ring member has received them.
+func (n *Node) gc(aru uint64) {
+	for s := range n.buffer {
+		if s <= aru {
+			delete(n.buffer, s)
+		}
+	}
+	for s := range n.skipped {
+		if s <= aru {
+			delete(n.skipped, s)
+		}
+	}
+}
+
+func (n *Node) emit(ev Event) {
+	select {
+	case n.events <- ev:
+	case <-n.stop:
+	}
+}
+
+func (n *Node) touchLiveness() {
+	if !n.gathering {
+		n.failDeadline = time.Now().Add(n.cfg.FailTimeout)
+	}
+}
+
+func (n *Node) inRing(id memnet.NodeID) bool {
+	for _, m := range n.ring {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) broadcastRaw(b []byte) {
+	// A crashed node's sends fail; the loop keeps running so the node
+	// can rejoin after a simulated restart.
+	_ = n.ep.Broadcast(b)
+}
+
+// startGather begins membership recovery.
+func (n *Node) startGather() {
+	n.gathering = true
+	n.heldToken = nil
+	n.holdUntil = time.Time{}
+	n.clearTokenResend()
+	n.failDeadline = time.Time{}
+	n.alive = map[memnet.NodeID]bool{n.cfg.ID: true}
+	n.joinHighest = map[memnet.NodeID]uint64{n.cfg.ID: n.highest}
+	n.joinAru = map[memnet.NodeID]uint64{n.cfg.ID: n.deliveredSeq}
+	if n.ringID+1 > n.proposedRingID {
+		n.proposedRingID = n.ringID + 1
+	}
+	n.gatherDeadline = time.Now().Add(n.cfg.GatherTimeout)
+	n.sendJoin()
+}
+
+func (n *Node) sendJoin() {
+	alive := make([]memnet.NodeID, 0, len(n.alive))
+	for id := range n.alive {
+		alive = append(alive, id)
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+	n.broadcastRaw(encodeJoin(joinMsg{
+		Sender:  n.cfg.ID,
+		Alive:   alive,
+		RingID:  n.proposedRingID,
+		Highest: n.highest,
+		Aru:     n.deliveredSeq,
+	}))
+}
+
+func (n *Node) handleJoin(j joinMsg) {
+	if !n.gathering {
+		// Stale echo from a completed gather we already installed.
+		if j.RingID <= n.ringID && n.inRing(j.Sender) {
+			return
+		}
+		n.startGather()
+	}
+	changed := false
+	if !n.alive[j.Sender] {
+		n.alive[j.Sender] = true
+		changed = true
+	}
+	for _, id := range j.Alive {
+		if !n.alive[id] {
+			n.alive[id] = true
+			changed = true
+		}
+	}
+	n.joinHighest[j.Sender] = j.Highest
+	n.joinAru[j.Sender] = j.Aru
+	if j.RingID > n.proposedRingID {
+		n.proposedRingID = j.RingID
+		changed = true
+	}
+	if changed {
+		n.gatherDeadline = time.Now().Add(n.cfg.GatherTimeout)
+		n.sendJoin()
+	}
+}
+
+// installRing ends the gather phase: the stable alive set becomes the new
+// ring, and the lowest-id member generates the new token.
+func (n *Node) installRing() {
+	members := make([]memnet.NodeID, 0, len(n.alive))
+	for id := range n.alive {
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	n.ring = members
+	n.ringID = n.proposedRingID
+	n.gathering = false
+	n.lastTokenID = 0
+	n.gatherDeadline = time.Time{}
+	n.failDeadline = time.Now().Add(n.cfg.FailTimeout)
+	n.reconfigN.Add(1)
+
+	n.mu.Lock()
+	n.curMembers = members
+	n.curRingID = n.ringID
+	n.mu.Unlock()
+
+	n.emit(Event{Type: EventConfig, Config: ConfigChange{
+		RingID:  n.ringID,
+		Members: members,
+	}})
+
+	if members[0] != n.cfg.ID {
+		return
+	}
+	// Leader: create the first token of the new ring. Seq resumes from
+	// the highest sequence number any survivor reported, and the
+	// stability watermark starts at the minimum so no survivor
+	// garbage-collects messages another still needs.
+	var maxHighest, minAru uint64
+	first := true
+	for id := range n.alive {
+		h, ok := n.joinHighest[id]
+		if !ok {
+			continue
+		}
+		if h > maxHighest {
+			maxHighest = h
+		}
+		a := n.joinAru[id]
+		if first || a < minAru {
+			minAru = a
+			first = false
+		}
+	}
+	if n.highest > maxHighest {
+		maxHighest = n.highest
+	}
+	t := token{
+		RingID:  n.ringID,
+		TokenID: 1,
+		Seq:     maxHighest,
+		Aru:     minAru,
+		Stable:  minAru,
+	}
+	// Process the fresh token as if it had just arrived addressed to us.
+	n.lastTokenID = t.TokenID
+	n.processToken(t)
+}
+
+// hasRtr reports whether seq already has a retransmission request.
+func (t token) hasRtr(seq uint64) bool {
+	for _, e := range t.Rtr {
+		if e.Seq == seq {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+// Package totem implements a single-ring totally-ordered reliable
+// multicast protocol in the style of Totem (Moser et al., CACM 39(4),
+// 1996), which the Eternal system uses as the communication substrate
+// inside a fault tolerance domain.
+//
+// A logical token circulates around a ring of nodes. Only the token
+// holder may broadcast regular messages, stamping each with the next
+// global sequence number taken from the token; every node delivers
+// regular messages in sequence-number order, which yields a single
+// system-wide total order. The token also carries a retransmission-
+// request list (recovering lost messages), an all-received-up-to
+// watermark (garbage-collecting stable messages), and a skip list
+// (declaring messages that no surviving member holds after a failure).
+//
+// Membership: when a node's token-loss timer fires, it enters a gather
+// phase, exchanging Join messages until the set of responsive nodes is
+// stable; the lowest-id survivor then installs a new ring and generates a
+// fresh token. Configuration changes are delivered to the application in
+// order with respect to regular messages, as virtual synchrony requires.
+//
+// The sequence numbers exposed in Delivery.Seq are exactly the
+// "timestamps derived from the totally-ordered message sequence numbers"
+// that the paper's operation identifiers are built from (paper section
+// 3.3): they are filled in at the receiving end, because a sender cannot
+// know its message's position in the total order in advance.
+package totem
+
+import (
+	"time"
+
+	"eternalgw/internal/memnet"
+)
+
+// Delivery is one totally-ordered message handed to the application.
+type Delivery struct {
+	// Seq is the message's global sequence number: unique, gapless and
+	// identical at every node. It serves as the paper's "message
+	// timestamp".
+	Seq uint64
+	// RingID identifies the ring configuration the message was ordered
+	// in.
+	RingID uint64
+	// Sender is the node that originated the message.
+	Sender memnet.NodeID
+	// Payload is the application payload.
+	Payload []byte
+}
+
+// ConfigChange reports a membership change: a new ring was installed.
+type ConfigChange struct {
+	RingID  uint64
+	Members []memnet.NodeID
+}
+
+// Transport carries the ring's datagrams: unordered, unreliable,
+// broadcast-capable (with self-delivery), exactly the service a LAN
+// offers the original Totem. memnet.Endpoint implements it for the
+// simulated network; udpnet.Endpoint implements it over real UDP.
+type Transport interface {
+	// ID is the local node's identity on the network.
+	ID() memnet.NodeID
+	// Recv returns the incoming datagram stream.
+	Recv() <-chan memnet.Packet
+	// Broadcast sends a datagram to every node, including the sender.
+	Broadcast(payload []byte) error
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// ID is this node's identity; it must match the endpoint's.
+	ID memnet.NodeID
+	// Endpoint is the node's attachment to the network.
+	Endpoint Transport
+	// Members is the initial ring membership, including this node.
+	// All founding members must be configured with the same list.
+	Members []memnet.NodeID
+
+	// MaxBurst bounds how many queued messages one token visit may
+	// broadcast. Zero means the default of 64.
+	MaxBurst int
+	// WindowSize bounds how many regular messages the whole ring may
+	// broadcast per token rotation (Totem's flow control). Zero disables
+	// the global bound, leaving only the per-visit MaxBurst. All members
+	// must configure the same value.
+	WindowSize int
+	// IdleHold is how long an idle token holder waits before forwarding
+	// the token, throttling rotation when there is no traffic. Zero
+	// means the default of 200 microseconds.
+	IdleHold time.Duration
+	// TokenRetransmit is how long the previous holder waits for evidence
+	// of progress before resending the token. Zero means 25ms.
+	TokenRetransmit time.Duration
+	// FailTimeout is how long a node tolerates not seeing the token (or
+	// any ring traffic) before starting membership recovery. Zero means
+	// 250ms.
+	FailTimeout time.Duration
+	// GatherTimeout is how long the alive-set must be stable during
+	// membership recovery before a new ring is installed. Zero means
+	// 60ms.
+	GatherTimeout time.Duration
+	// SkipAge is how many unsatisfied full token rotations a
+	// retransmission request survives before the leader declares the
+	// message unrecoverable and skips it. Zero means 4.
+	SkipAge int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxBurst == 0 {
+		c.MaxBurst = 64
+	}
+	if c.IdleHold == 0 {
+		c.IdleHold = 200 * time.Microsecond
+	}
+	if c.TokenRetransmit == 0 {
+		c.TokenRetransmit = 25 * time.Millisecond
+	}
+	if c.FailTimeout == 0 {
+		c.FailTimeout = 250 * time.Millisecond
+	}
+	if c.GatherTimeout == 0 {
+		c.GatherTimeout = 60 * time.Millisecond
+	}
+	if c.SkipAge == 0 {
+		c.SkipAge = 4
+	}
+}
+
+// Stats is a snapshot of a node's protocol counters.
+type Stats struct {
+	Broadcast     uint64 // regular messages this node originated
+	Delivered     uint64 // regular messages delivered to the application
+	Retransmitted uint64 // retransmissions this node served
+	Skipped       uint64 // sequence numbers declared unrecoverable
+	TokenPasses   uint64 // tokens this node forwarded
+	Reconfigs     uint64 // ring installations
+}

@@ -1,0 +1,174 @@
+package totem
+
+import (
+	"fmt"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/memnet"
+)
+
+// Wire message kinds.
+const (
+	kindRegular byte = 1
+	kindToken   byte = 2
+	kindJoin    byte = 3
+)
+
+// regularMsg is a sequenced application broadcast (possibly a
+// retransmission, which is byte-identical except for the ring id being
+// restamped to the current configuration).
+type regularMsg struct {
+	RingID  uint64
+	Seq     uint64
+	Sender  memnet.NodeID
+	Payload []byte
+}
+
+// token is the circulating ring token. Tokens are broadcast rather than
+// unicast so every node (including nodes outside the ring) can use them
+// for liveness and partition-merge detection; Succ names the one member
+// that actually processes this token.
+type token struct {
+	RingID  uint64
+	TokenID uint64 // monotonically increasing per ring; detects stale duplicates
+	Seq     uint64 // highest sequence number assigned so far
+	// Aru accumulates the minimum all-received-up-to value over the
+	// current rotation: every node folds its own watermark in with min.
+	Aru uint64
+	// Stable is the confirmed global watermark: the Aru of the last
+	// completed rotation, published by the leader. Every member is known
+	// to have received all messages with seq <= Stable, so they may be
+	// garbage-collected and their retransmission requests dropped.
+	Stable uint64
+	Succ   memnet.NodeID // the member this token is addressed to
+	// Spent counts regular messages broadcast during the current token
+	// rotation; the leader resets it. Together with Config.WindowSize it
+	// implements Totem's flow control: a global bound on broadcasts per
+	// rotation that keeps one busy node from monopolizing the ring.
+	Spent uint32
+	Rtr   []rtrEntry // outstanding retransmission requests
+	Skip  []uint64   // sequence numbers declared unrecoverable
+}
+
+// rtrEntry is one retransmission request with its rotation age.
+type rtrEntry struct {
+	Seq uint64
+	Age uint32
+}
+
+// joinMsg is a membership-recovery message.
+type joinMsg struct {
+	Sender  memnet.NodeID
+	Alive   []memnet.NodeID
+	RingID  uint64 // proposed new ring id
+	Highest uint64 // sender's highest received sequence number
+	Aru     uint64 // sender's contiguous received watermark
+}
+
+func encodeRegular(m regularMsg) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(kindRegular)
+	w.WriteULongLong(m.RingID)
+	w.WriteULongLong(m.Seq)
+	w.WriteString(string(m.Sender))
+	w.WriteOctetSeq(m.Payload)
+	return w.Bytes()
+}
+
+func decodeRegular(r *cdr.Reader) (regularMsg, error) {
+	var m regularMsg
+	m.RingID = r.ReadULongLong()
+	m.Seq = r.ReadULongLong()
+	m.Sender = memnet.NodeID(r.ReadString())
+	payload := r.ReadOctetSeq()
+	if err := r.Err(); err != nil {
+		return regularMsg{}, fmt.Errorf("totem: decode regular: %w", err)
+	}
+	m.Payload = make([]byte, len(payload))
+	copy(m.Payload, payload)
+	return m, nil
+}
+
+func encodeToken(t token) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(kindToken)
+	w.WriteULongLong(t.RingID)
+	w.WriteULongLong(t.TokenID)
+	w.WriteULongLong(t.Seq)
+	w.WriteULongLong(t.Aru)
+	w.WriteULongLong(t.Stable)
+	w.WriteString(string(t.Succ))
+	w.WriteULong(t.Spent)
+	w.WriteULong(uint32(len(t.Rtr)))
+	for _, e := range t.Rtr {
+		w.WriteULongLong(e.Seq)
+		w.WriteULong(e.Age)
+	}
+	w.WriteULong(uint32(len(t.Skip)))
+	for _, s := range t.Skip {
+		w.WriteULongLong(s)
+	}
+	return w.Bytes()
+}
+
+func decodeToken(r *cdr.Reader) (token, error) {
+	var t token
+	t.RingID = r.ReadULongLong()
+	t.TokenID = r.ReadULongLong()
+	t.Seq = r.ReadULongLong()
+	t.Aru = r.ReadULongLong()
+	t.Stable = r.ReadULongLong()
+	t.Succ = memnet.NodeID(r.ReadString())
+	t.Spent = r.ReadULong()
+	nRtr := r.ReadULong()
+	if r.Err() == nil && int(nRtr) <= r.Remaining()/8 {
+		t.Rtr = make([]rtrEntry, 0, nRtr)
+		for i := uint32(0); i < nRtr && r.Err() == nil; i++ {
+			t.Rtr = append(t.Rtr, rtrEntry{Seq: r.ReadULongLong(), Age: r.ReadULong()})
+		}
+	}
+	nSkip := r.ReadULong()
+	if r.Err() == nil && int(nSkip) <= r.Remaining()/8 {
+		t.Skip = make([]uint64, 0, nSkip)
+		for i := uint32(0); i < nSkip && r.Err() == nil; i++ {
+			t.Skip = append(t.Skip, r.ReadULongLong())
+		}
+	}
+	if err := r.Err(); err != nil {
+		return token{}, fmt.Errorf("totem: decode token: %w", err)
+	}
+	return t, nil
+}
+
+func encodeJoin(j joinMsg) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(kindJoin)
+	w.WriteString(string(j.Sender))
+	w.WriteULong(uint32(len(j.Alive)))
+	for _, id := range j.Alive {
+		w.WriteString(string(id))
+	}
+	w.WriteULongLong(j.RingID)
+	w.WriteULongLong(j.Highest)
+	w.WriteULongLong(j.Aru)
+	return w.Bytes()
+}
+
+func decodeJoin(r *cdr.Reader) (joinMsg, error) {
+	var j joinMsg
+	j.Sender = memnet.NodeID(r.ReadString())
+	n := r.ReadULong()
+	if r.Err() == nil && int(n) <= r.Remaining()/4 {
+		j.Alive = make([]memnet.NodeID, 0, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			j.Alive = append(j.Alive, memnet.NodeID(r.ReadString()))
+		}
+	}
+	j.RingID = r.ReadULongLong()
+	j.Highest = r.ReadULongLong()
+	j.Aru = r.ReadULongLong()
+	if err := r.Err(); err != nil {
+		return joinMsg{}, fmt.Errorf("totem: decode join: %w", err)
+	}
+	return j, nil
+}

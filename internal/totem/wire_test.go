@@ -1,0 +1,138 @@
+package totem
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"eternalgw/internal/cdr"
+	"eternalgw/internal/memnet"
+)
+
+func decodeFrame(t *testing.T, b []byte, wantKind byte) *cdr.Reader {
+	t.Helper()
+	r := cdr.NewReader(b, cdr.BigEndian)
+	if k := r.ReadOctet(); k != wantKind {
+		t.Fatalf("kind = %d, want %d", k, wantKind)
+	}
+	return r
+}
+
+func TestRegularRoundTrip(t *testing.T) {
+	m := regularMsg{RingID: 3, Seq: 99, Sender: "n2", Payload: []byte("abc")}
+	got, err := decodeRegular(decodeFrame(t, encodeRegular(m), kindRegular))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RingID != 3 || got.Seq != 99 || got.Sender != "n2" || !bytes.Equal(got.Payload, []byte("abc")) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	tok := token{
+		RingID:  7,
+		TokenID: 1234,
+		Seq:     500,
+		Aru:     480,
+		Stable:  480,
+		Succ:    "n3",
+		Rtr:     []rtrEntry{{Seq: 481, Age: 2}, {Seq: 483}},
+		Skip:    []uint64{460, 470},
+	}
+	got, err := decodeToken(decodeFrame(t, encodeToken(tok), kindToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tok) {
+		t.Fatalf("got %+v, want %+v", got, tok)
+	}
+}
+
+func TestTokenRoundTripEmptyLists(t *testing.T) {
+	tok := token{RingID: 1, TokenID: 1, Succ: "a"}
+	got, err := decodeToken(decodeFrame(t, encodeToken(tok), kindToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RingID != 1 || got.Succ != "a" || len(got.Rtr) != 0 || len(got.Skip) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	jm := joinMsg{
+		Sender:  "n5",
+		Alive:   []memnet.NodeID{"n1", "n5", "n9"},
+		RingID:  12,
+		Highest: 4000,
+		Aru:     3999,
+	}
+	got, err := decodeJoin(decodeFrame(t, encodeJoin(jm), kindJoin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, jm) {
+		t.Fatalf("got %+v, want %+v", got, jm)
+	}
+}
+
+func TestQuickTokenRoundTrip(t *testing.T) {
+	f := func(ringID, tokenID, seq, aru uint64, rtrSeqs []uint64, skip []uint64) bool {
+		tok := token{RingID: ringID, TokenID: tokenID, Seq: seq, Aru: aru, Stable: aru / 2, Succ: "y"}
+		for _, s := range rtrSeqs {
+			tok.Rtr = append(tok.Rtr, rtrEntry{Seq: s, Age: uint32(s % 7)})
+		}
+		tok.Skip = skip
+		got, err := decodeToken(cdrSkipKind(encodeToken(tok)))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalizeToken(got), normalizeToken(tok))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := cdr.NewReader(data, cdr.BigEndian)
+		switch r.ReadOctet() {
+		case kindRegular:
+			_, _ = decodeRegular(r)
+		case kindToken:
+			_, _ = decodeToken(r)
+		case kindJoin:
+			_, _ = decodeJoin(r)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cdrSkipKind(b []byte) *cdr.Reader {
+	r := cdr.NewReader(b, cdr.BigEndian)
+	r.ReadOctet()
+	return r
+}
+
+// normalizeToken maps nil and empty slices to a canonical form for
+// DeepEqual comparison.
+func normalizeToken(t token) token {
+	if len(t.Rtr) == 0 {
+		t.Rtr = nil
+	}
+	if len(t.Skip) == 0 {
+		t.Skip = nil
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+// Package udpnet is a real-network transport for the Totem protocol:
+// each node binds a UDP socket, and "broadcast" is realized by sending
+// the datagram to every peer in a static registry plus looping one copy
+// back locally — the deployment shape of the original Totem on a LAN
+// segment without IP-multicast support.
+//
+// udpnet implements the same totem.Transport contract as the simulated
+// memnet: unordered, unreliable, broadcast-capable datagram delivery
+// with self-delivery. Tests and experiments use memnet for determinism
+// and fault injection; udpnet exists so a domain can run over real
+// sockets (cmd/ftdomaind -udp).
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"eternalgw/internal/memnet"
+)
+
+// ErrClosed reports use of a closed endpoint.
+var ErrClosed = errors.New("udpnet: endpoint closed")
+
+// maxDatagram bounds receive buffers. Totem messages are small (the
+// token plus bounded bursts of application payloads); anything larger
+// should be fragmented by the application layer.
+const maxDatagram = 64 << 10
+
+const inboxSize = 4096
+
+// Registry maps node identities to UDP addresses. All nodes of a ring
+// share one registry, fixed at configuration time (the paper's gateways
+// likewise use dedicated, configured endpoints).
+type Registry map[memnet.NodeID]string
+
+// Endpoint is one node's UDP attachment. It satisfies totem.Transport.
+type Endpoint struct {
+	id    memnet.NodeID
+	conn  *net.UDPConn
+	peers map[memnet.NodeID]*net.UDPAddr
+	inbox chan memnet.Packet
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Listen binds the endpoint for id at its registry address and starts
+// receiving. The registry must contain id.
+func Listen(id memnet.NodeID, registry Registry) (*Endpoint, error) {
+	self, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("udpnet: node %q not in registry", id)
+	}
+	laddr, err := net.ResolveUDPAddr("udp", self)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: resolve %q: %w", self, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		id:    id,
+		conn:  conn,
+		peers: make(map[memnet.NodeID]*net.UDPAddr, len(registry)),
+		inbox: make(chan memnet.Packet, inboxSize),
+		done:  make(chan struct{}),
+	}
+	for peer, addr := range registry {
+		if peer == id {
+			continue
+		}
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("udpnet: resolve peer %q at %q: %w", peer, addr, err)
+		}
+		e.peers[peer] = ua
+	}
+	go e.readLoop()
+	return e, nil
+}
+
+// Addr returns the bound UDP address (useful with ":0" registries in
+// tests; production registries use fixed ports so peers can be
+// configured statically).
+func (e *Endpoint) Addr() string { return e.conn.LocalAddr().String() }
+
+// ID implements totem.Transport.
+func (e *Endpoint) ID() memnet.NodeID { return e.id }
+
+// Recv implements totem.Transport.
+func (e *Endpoint) Recv() <-chan memnet.Packet { return e.inbox }
+
+// Broadcast implements totem.Transport: one datagram to every peer plus
+// a local loopback copy (IP-multicast loopback semantics).
+func (e *Endpoint) Broadcast(payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+
+	frame := e.frame(payload)
+	for _, addr := range e.peers {
+		// Best-effort, as on a real network; totem recovers losses.
+		_, _ = e.conn.WriteToUDP(frame, addr)
+	}
+	e.deliverLocal(payload)
+	return nil
+}
+
+// frame prepends the sender identity (length-prefixed) to the payload.
+func (e *Endpoint) frame(payload []byte) []byte {
+	id := []byte(e.id)
+	out := make([]byte, 0, 2+len(id)+len(payload))
+	out = append(out, byte(len(id)>>8), byte(len(id)))
+	out = append(out, id...)
+	return append(out, payload...)
+}
+
+func (e *Endpoint) deliverLocal(payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	select {
+	case e.inbox <- memnet.Packet{From: e.id, Payload: cp}:
+	default: // inbox overflow: drop, like a full socket buffer
+	}
+}
+
+func (e *Endpoint) readLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			close(e.done)
+			return
+		}
+		if n < 2 {
+			continue
+		}
+		idLen := int(buf[0])<<8 | int(buf[1])
+		if 2+idLen > n {
+			continue
+		}
+		from := memnet.NodeID(buf[2 : 2+idLen])
+		payload := make([]byte, n-2-idLen)
+		copy(payload, buf[2+idLen:n])
+		select {
+		case e.inbox <- memnet.Packet{From: from, Payload: payload}:
+		default:
+		}
+	}
+}
+
+// Close shuts the socket down and stops the receive loop.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.conn.Close()
+	<-e.done
+	return err
+}
