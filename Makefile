@@ -1,0 +1,29 @@
+# Developer entry points. The CI gate is `make check`.
+
+GO ?= go
+
+.PHONY: build test vet race check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full verification gate: static analysis plus the whole
+# test suite under the race detector.
+check: vet race
+
+# bench reproduces the gateway round-trip numbers recorded in
+# BENCH_baseline.json (baseline vs instrumented datapath).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkE5GatewayLoopsInstrumented' -benchtime 2s -count 3 .
+
+clean:
+	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"eternalgw/internal/experiments"
 	"eternalgw/internal/ftmgmt"
 	"eternalgw/internal/giop"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/orb"
 	"eternalgw/internal/replication"
 	"eternalgw/internal/thinclient"
@@ -247,6 +248,48 @@ func BenchmarkE4MessageEncapsulation(b *testing.B) {
 // (figure 5's inbound and outbound loops plus the TCP edge).
 func BenchmarkE5GatewayLoops(b *testing.B) {
 	d := benchDomain(b, 3)
+	benchDeploy(b, d, replication.Active, 2)
+	gw, err := d.AddGateway(2, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := orb.Dial(gw.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = conn.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Call([]byte(benchKey), "ops", nil, orb.InvokeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5GatewayLoopsInstrumented is E5 with the observability
+// subsystem in its production-default posture: metrics registered (the
+// counters the datapath increments are read only at scrape time) and
+// the tracer disabled (nil). Comparing against BenchmarkE5GatewayLoops
+// bounds the overhead of carrying the instrumentation; the acceptance
+// bar is under 5% on round-trip throughput.
+func BenchmarkE5GatewayLoopsInstrumented(b *testing.B) {
+	d, err := domain.New(domain.Config{
+		Name:  "bench",
+		Nodes: 3,
+		Totem: totem.Config{
+			IdleHold:        100 * time.Microsecond,
+			TokenRetransmit: 10 * time.Millisecond,
+			FailTimeout:     80 * time.Millisecond,
+			GatherTimeout:   20 * time.Millisecond,
+		},
+		GatewayInvokeTimeout: 10 * time.Second,
+		Metrics:              obs.NewRegistry(),
+		Tracer:               nil, // disabled: the hot path pays one nil check per hop
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
 	benchDeploy(b, d, replication.Active, 2)
 	gw, err := d.AddGateway(2, "")
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"eternalgw/internal/ior"
 	"eternalgw/internal/memnet"
 	"eternalgw/internal/naming"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/orb"
 	"eternalgw/internal/replication"
 	"eternalgw/internal/totem"
@@ -88,12 +89,31 @@ func main() {
 		monitor  = flag.Duration("monitor", 250*time.Millisecond, "resource manager reconciliation interval (0 disables)")
 		udp      = flag.Bool("udp", false, "run the domain's totem ring over real UDP sockets on localhost instead of the in-process network")
 		quorum   = flag.Bool("quorum", false, "enable majority-partition protection (a minority partition refuses to serve)")
+		obsAddr  = flag.String("obs-addr", "", "ops HTTP listen address for /metrics, /healthz, /readyz, /statusz (empty disables)")
+		trace    = flag.Bool("trace", false, "record per-invocation traces, shown on /statusz (requires -obs-addr)")
+		logLevel = flag.String("log-level", "warn", "log verbosity: debug|info|warn|error")
 	)
 	flag.Parse()
-	if err := run(*nodes, *replicas, *gateways, *styleStr, *listen, *monitor, *udp, *quorum); err != nil {
+	if err := run(runOpts{
+		nodes: *nodes, replicas: *replicas, gateways: *gateways,
+		styleStr: *styleStr, listen: *listen, monitor: *monitor,
+		udp: *udp, quorum: *quorum,
+		obsAddr: *obsAddr, trace: *trace, logLevel: *logLevel,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ftdomaind:", err)
 		os.Exit(1)
 	}
+}
+
+// runOpts carries the parsed command line into run.
+type runOpts struct {
+	nodes, replicas, gateways int
+	styleStr, listen          string
+	monitor                   time.Duration
+	udp, quorum               bool
+	obsAddr                   string
+	trace                     bool
+	logLevel                  string
 }
 
 func parseStyle(s string) (replication.Style, error) {
@@ -113,19 +133,35 @@ func parseStyle(s string) (replication.Style, error) {
 	}
 }
 
-func run(nodes, replicas, gateways int, styleStr, listen string, monitor time.Duration, udp, quorum bool) error {
-	style, err := parseStyle(styleStr)
+func run(o runOpts) error {
+	nodes, replicas, gateways := o.nodes, o.replicas, o.gateways
+	listen, monitor := o.listen, o.monitor
+	style, err := parseStyle(o.styleStr)
 	if err != nil {
 		return err
 	}
 	if replicas > nodes {
 		return fmt.Errorf("cannot place %d replicas on %d nodes", replicas, nodes)
 	}
-	cfg := domain.Config{Name: "demo", Nodes: nodes}
-	if quorum {
+	cfg := domain.Config{Name: "demo", Nodes: nodes, Log: obs.NewLogger(os.Stderr, obs.ParseLevel(o.logLevel))}
+	var ops *obs.Server
+	if o.obsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		if o.trace {
+			cfg.Tracer = obs.NewTracer(256)
+			cfg.Tracer.Register(cfg.Metrics)
+		}
+		ops, err = obs.NewServer(o.obsAddr, cfg.Metrics, cfg.Tracer)
+		if err != nil {
+			return fmt.Errorf("ops server: %w", err)
+		}
+		defer func() { _ = ops.Close() }()
+		fmt.Printf("ops endpoints on http://%s/ (/metrics /healthz /readyz /statusz)\n", ops.Addr())
+	}
+	if o.quorum {
 		cfg.Replication = replication.Config{QuorumOf: nodes}
 	}
-	if udp {
+	if o.udp {
 		factory, registry, err := udpFactory(nodes)
 		if err != nil {
 			return err
@@ -138,6 +174,21 @@ func run(nodes, replicas, gateways int, styleStr, listen string, monitor time.Du
 		return err
 	}
 	defer d.Close()
+	if ops != nil {
+		ops.AddStatusSection("dedup-cache", func() string {
+			var b strings.Builder
+			for i := 0; i < d.Nodes(); i++ {
+				n := d.Node(i)
+				for group, entries := range n.RM.DedupOccupancy() {
+					fmt.Fprintf(&b, "node %s group %d: %d entries\n", n.ID, group, entries)
+				}
+			}
+			if b.Len() == 0 {
+				return "no local servant replicas\n"
+			}
+			return b.String()
+		})
+	}
 
 	err = d.Manager().CreateReplicatedObject(demoGroup, ftmgmt.Properties{
 		Style:           style,
@@ -199,6 +250,9 @@ func run(nodes, replicas, gateways int, styleStr, listen string, monitor time.Du
 		nodes, replicas, style, demoKey, gateways)
 	fmt.Printf("object reference:\n%s\n", ref.String())
 	fmt.Printf("name service reference (demo object bound as %q):\n%s\n", demoName, nsRef.String())
+	if ops != nil {
+		ops.SetReady(true)
+	}
 	fmt.Println("serving; interrupt to stop")
 
 	sig := make(chan os.Signal, 1)

@@ -24,10 +24,10 @@ func TestParseStyle(t *testing.T) {
 }
 
 func TestRunRejectsImpossiblePlacement(t *testing.T) {
-	if err := run(2, 3, 1, "active", "", 0, false, false); err == nil {
+	if err := run(runOpts{nodes: 2, replicas: 3, gateways: 1, styleStr: "active"}); err == nil {
 		t.Fatal("3 replicas on 2 nodes accepted")
 	}
-	if err := run(2, 1, 1, "sideways", "", 0, false, false); err == nil {
+	if err := run(runOpts{nodes: 2, replicas: 1, gateways: 1, styleStr: "sideways"}); err == nil {
 		t.Fatal("bad style accepted")
 	}
 }

@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,6 +33,8 @@ import (
 
 	"eternalgw/internal/cdr"
 	"eternalgw/internal/giop"
+	"eternalgw/internal/metrics"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/replication"
 )
 
@@ -62,8 +63,16 @@ type Config struct {
 	// ablation: it trades one extra multicast per request against
 	// failover work.
 	DisableGroupRecord bool
-	// Logger receives diagnostics; nil discards them.
-	Logger *log.Logger
+	// Log receives diagnostics (tagged component=gateway); nil discards
+	// them.
+	Log *obs.Logger
+	// Metrics, when set, receives the gateway's counters, connection
+	// gauges and a request-latency histogram for the /metrics endpoint.
+	Metrics *obs.Registry
+	// Tracer, when set, records invocation span events on the gateway
+	// hops (accept, decode, cache suppression, reply write). Nil — the
+	// default — is the disabled tracer: the datapath pays one nil check.
+	Tracer *obs.Tracer
 }
 
 // Stats snapshots gateway counters.
@@ -90,9 +99,14 @@ type cacheKey struct {
 
 // Gateway bridges external IIOP clients into a fault tolerance domain.
 type Gateway struct {
-	cfg Config
-	rm  *replication.Mechanisms
-	ln  net.Listener
+	cfg    Config
+	rm     *replication.Mechanisms
+	ln     net.Listener
+	log    *obs.Logger
+	tracer *obs.Tracer
+	// reqHist, non-nil only when cfg.Metrics is set, records round-trip
+	// latency of response-expected requests over a sliding window.
+	reqHist *metrics.Histogram
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -154,12 +168,15 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:           cfg,
 		rm:            cfg.RM,
 		ln:            ln,
+		log:           cfg.Log.With("gateway"),
+		tracer:        cfg.Tracer,
 		conns:         make(map[net.Conn]struct{}),
 		counters:      make(map[replication.GroupID]uint64),
 		seen:          make(map[cacheKey]struct{}),
 		replies:       make(map[cacheKey]giop.Reply),
 		instanceNonce: binary.BigEndian.Uint64(nonce[:]) &^ counterIDBit,
 	}
+	g.registerMetrics(cfg.Metrics)
 	// Join the gateway group (idempotent error if the embedding code
 	// joined already) and observe the group's traffic to build the
 	// request/response record.
@@ -175,6 +192,53 @@ func New(cfg Config) (*Gateway, error) {
 
 // Addr returns the gateway's external TCP address.
 func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// registerMetrics publishes the gateway's counters, gauges and a
+// request-latency histogram on the registry, labelled with the external
+// listen address so several gateways in one process stay
+// distinguishable. The registry reads only at scrape time; the datapath
+// keeps its bare atomic increments.
+func (g *Gateway) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := obs.Labels{"gateway": g.ln.Addr().String()}
+	for _, c := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"eternalgw_gateway_connections_accepted_total", "External TCP connections accepted.", g.connectionsAccepted.Load},
+		{"eternalgw_gateway_requests_received_total", "GIOP requests received from external clients.", g.requestsReceived.Load},
+		{"eternalgw_gateway_requests_forwarded_total", "Requests conveyed into the fault tolerance domain.", g.requestsForwarded.Load},
+		{"eternalgw_gateway_replies_returned_total", "Replies written back to external clients.", g.repliesReturned.Load},
+		{"eternalgw_gateway_answered_from_cache_total", "Reissued invocations answered from the gateway-group record.", g.answeredFromCache.Load},
+		{"eternalgw_gateway_reinvocations_detected_total", "Requests seen before by the gateway group.", g.reinvocationsDetected.Load},
+		{"eternalgw_gateway_requests_abandoned_total", "Requests received but never answered.", g.requestsAbandoned.Load},
+		{"eternalgw_gateway_exceptions_total", "System exceptions returned to external clients.", g.exceptions.Load},
+		{"eternalgw_gateway_clients_departed_total", "Departed-client notifications processed.", g.clientsDeparted.Load},
+	} {
+		reg.CounterFunc(c.name, c.help, lbl, c.fn)
+	}
+	reg.GaugeFunc("eternalgw_gateway_open_connections", "Currently connected external clients.", lbl, func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(len(g.conns))
+	})
+	reg.GaugeFunc("eternalgw_gateway_recorded_requests", "Request records held for reinvocation detection.", lbl,
+		func() float64 { return float64(g.RecordedRequests()) })
+	reg.GaugeFunc("eternalgw_gateway_recorded_replies", "Responses held in the gateway-group record.", lbl,
+		func() float64 { return float64(g.RecordedReplies()) })
+	g.reqHist = metrics.NewBounded(8192)
+	reg.Histogram("eternalgw_gateway_request_duration_seconds", "Round-trip latency of response-expected requests.", lbl, g.reqHist)
+}
+
+// observeLatency records one round trip when the latency histogram is
+// enabled (arrived is zero when it is not).
+func (g *Gateway) observeLatency(arrived time.Time) {
+	if g.reqHist != nil && !arrived.IsZero() {
+		g.reqHist.Record(time.Since(arrived))
+	}
+}
 
 // Host and Port of the external endpoint, for IOR construction.
 func (g *Gateway) HostPort() (string, uint16) {
@@ -298,15 +362,21 @@ func (g *Gateway) serveConn(nc net.Conn) {
 		msg, err := ra.Next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				g.logf("gateway: connection %s: %v", nc.RemoteAddr(), err)
+				g.log.Warnf("connection %s: %v", nc.RemoteAddr(), err)
 			}
 			return
 		}
 		switch msg.Header.Type {
 		case giop.MsgRequest:
+			// The message's arrival instant anchors the trace and the
+			// latency histogram; with both disabled the clock is skipped.
+			var arrived time.Time
+			if g.tracer != nil || g.reqHist != nil {
+				arrived = time.Now()
+			}
 			req, err := giop.DecodeRequest(msg)
 			if err != nil {
-				g.logf("gateway: bad request from %s: %v", nc.RemoteAddr(), err)
+				g.log.Warnf("bad request from %s: %v", nc.RemoteAddr(), err)
 				cc.write(giop.EncodeMessageError(msg.Header.Order))
 				continue
 			}
@@ -314,7 +384,7 @@ func (g *Gateway) serveConn(nc net.Conn) {
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				cc.handleRequest(msg, req)
+				cc.handleRequest(msg, req, arrived)
 			}()
 		case giop.MsgLocateRequest:
 			cc.handleLocate(msg)
@@ -340,7 +410,7 @@ func (cc *clientConn) write(msg giop.Message) {
 	cc.wmu.Lock()
 	defer cc.wmu.Unlock()
 	if err := giop.WriteMessageFragmented(cc.nc, msg, 0); err != nil {
-		cc.gw.logf("gateway: write to %s: %v", cc.nc.RemoteAddr(), err)
+		cc.gw.log.Warnf("write to %s: %v", cc.nc.RemoteAddr(), err)
 	}
 }
 
@@ -388,7 +458,7 @@ const counterIDBit = uint64(1) << 63
 // server group, tag the request with the client and operation
 // identifiers, convey it into the fault tolerance domain, and return the
 // (first, deduplicated) response over the client's socket.
-func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request) {
+func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request, arrived time.Time) {
 	gw := cc.gw
 	group, ok := gw.rm.GroupByKey(req.ObjectKey)
 	if !ok {
@@ -403,16 +473,24 @@ func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request) {
 	clientID := cc.clientID(group, req)
 	op := replication.OperationID{ParentTS: 0, ChildSeq: req.RequestID}
 	key := cacheKey{group: group, clientID: clientID, op: op}
+	tkey := obs.TraceKey{ClientID: clientID, ParentTS: op.ParentTS, ChildSeq: op.ChildSeq}
+	if gw.tracer != nil {
+		gw.tracer.EventAt(tkey, obs.StageGatewayAccept, arrived, "gateway")
+		gw.tracer.Event(tkey, obs.StageIIOPDecode, "gateway")
+	}
 
 	// A reissued invocation (after the client failed over from a dead
 	// gateway) may already have been answered; the gateway group's
 	// record answers it without touching the servers.
 	if rep, ok := gw.cachedReply(key); ok && !gw.cfg.DisableGroupRecord {
 		gw.answeredFromCache.Add(1)
+		gw.tracer.Event(tkey, obs.StageDupSuppressed, "gateway-record")
 		if req.ResponseExpected {
 			gw.repliesReturned.Add(1)
 			cc.writeReplyRaw(msg, req, rep)
+			gw.tracer.Event(tkey, obs.StageReplyWrite, "gateway")
 		}
+		gw.observeLatency(arrived)
 		return
 	}
 
@@ -421,7 +499,7 @@ func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request) {
 	if !gw.cfg.DisableGroupRecord {
 		reqWire, err := giop.EncodeRequest(msg.Header.Order, req)
 		if err != nil {
-			gw.logf("gateway: re-encode request: %v", err)
+			gw.log.Errorf("re-encode request: %v", err)
 			return
 		}
 		record := replication.Message{
@@ -446,7 +524,7 @@ func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request) {
 		// for (or ever receiving) a response.
 		wire, err := giop.EncodeRequest(req.ArgsOrder, req)
 		if err != nil {
-			gw.logf("gateway: encode one-way: %v", err)
+			gw.log.Errorf("encode one-way: %v", err)
 			return
 		}
 		if err := gw.rm.MulticastMessage(replication.Message{
@@ -473,13 +551,16 @@ func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request) {
 				Status:    giop.ReplySystemException,
 				Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/COMM_FAILURE:1.0", 0, 1),
 			})
+			gw.tracer.Event(tkey, obs.StageReplyWrite, "gateway-exception")
 		}
 		return
 	}
 	if req.ResponseExpected && !cc.isCancelled(req.RequestID) {
 		gw.repliesReturned.Add(1)
 		cc.writeReplyRaw(msg, req, rep)
+		gw.tracer.Event(tkey, obs.StageReplyWrite, "gateway")
 	}
+	gw.observeLatency(arrived)
 }
 
 // isCancelled reports (and consumes) a cancellation for a request id.
@@ -499,7 +580,7 @@ func (cc *clientConn) writeReplyRaw(msg giop.Message, req giop.Request, rep giop
 	rep.RequestID = req.RequestID
 	out, err := giop.EncodeReplyV(msg.Header.Order, msg.Header.Minor, rep)
 	if err != nil {
-		cc.gw.logf("gateway: encode reply: %v", err)
+		cc.gw.log.Errorf("encode reply: %v", err)
 		return
 	}
 	cc.write(out)
@@ -657,8 +738,3 @@ func (g *Gateway) RecordedRequests() int {
 	return len(g.seen)
 }
 
-func (g *Gateway) logf(format string, args ...any) {
-	if g.cfg.Logger != nil {
-		g.cfg.Logger.Printf(format, args...)
-	}
-}

@@ -21,6 +21,7 @@ import (
 	"eternalgw/internal/interceptor"
 	"eternalgw/internal/ior"
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/replication"
 	"eternalgw/internal/totem"
 )
@@ -51,6 +52,18 @@ type Config struct {
 	// fault-injection helpers (CrashNode, RestartNode) act on the
 	// simulated network and therefore require the default transport.
 	TransportFactory func(id memnet.NodeID) (totem.Transport, error)
+	// Metrics, when set, is threaded into every layer of the domain:
+	// totem protocol counters per node, replication mechanism counters
+	// per node, management gauges, and gateway counters as gateways are
+	// added.
+	Metrics *obs.Registry
+	// Tracer, when set, is threaded into the replication mechanisms and
+	// gateways so one invocation's span events join across layers. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
+	// Log, when set, gives the domain's components a leveled logger;
+	// each layer tags lines with its own component.
+	Log *obs.Logger
 }
 
 // Node is one processor of the domain.
@@ -112,6 +125,7 @@ func New(cfg Config) (*Domain, error) {
 		tcfg.ID = id
 		tcfg.Endpoint = ep
 		tcfg.Members = ids
+		tcfg.Metrics = cfg.Metrics
 		tn, err := totem.Start(tcfg)
 		if err != nil {
 			d.Close()
@@ -120,6 +134,8 @@ func New(cfg Config) (*Domain, error) {
 		rcfg := cfg.Replication
 		rcfg.Node = tn
 		rcfg.NodeID = id
+		rcfg.Metrics = cfg.Metrics
+		rcfg.Tracer = cfg.Tracer
 		rm, err := replication.New(rcfg)
 		if err != nil {
 			tn.Stop()
@@ -133,6 +149,7 @@ func New(cfg Config) (*Domain, error) {
 		hosts = append(hosts, ftmgmt.Host{ID: n.ID, RM: n.RM})
 	}
 	d.manager = ftmgmt.NewManager(hosts...)
+	d.manager.Instrument(cfg.Metrics, cfg.Log)
 	// The gateway group exists from the start so gateways can join it.
 	if err := d.nodes[0].RM.CreateGroup(cfg.GatewayGroup, replication.Active, nil); err != nil {
 		d.Close()
@@ -171,6 +188,9 @@ func (d *Domain) AddGateway(i int, addr string) (*core.Gateway, error) {
 		Group:         d.cfg.GatewayGroup,
 		ListenAddr:    addr,
 		InvokeTimeout: d.cfg.GatewayInvokeTimeout,
+		Metrics:       d.cfg.Metrics,
+		Tracer:        d.cfg.Tracer,
+		Log:           d.cfg.Log,
 	})
 	if err != nil {
 		return nil, err

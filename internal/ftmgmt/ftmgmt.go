@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/replication"
 )
 
@@ -77,6 +79,11 @@ type Manager struct {
 	stopOnce sync.Once
 
 	syncTimeout time.Duration
+
+	log          *obs.Logger // nil until Instrument
+	reg          *obs.Registry
+	replacements atomic.Uint64 // replicas started by the Resource Manager
+	upgrades     atomic.Uint64 // live upgrades completed
 }
 
 // NewManager creates a manager over the given hosts.
@@ -90,6 +97,37 @@ func NewManager(hosts ...Host) *Manager {
 	}
 	close(m.done) // no monitor running yet
 	return m
+}
+
+// Instrument connects the managers to the observability subsystem:
+// replacement and upgrade counters plus a per-group replica-count gauge
+// registered for every group created afterwards. Call before
+// CreateReplicatedObject; safe to skip entirely (nil arguments are
+// no-ops).
+func (m *Manager) Instrument(reg *obs.Registry, log *obs.Logger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg = reg
+	m.log = log.With("ftmgmt")
+	if reg != nil {
+		reg.CounterFunc("eternalgw_ftmgmt_replacements_total",
+			"Replacement replicas started by the Resource Manager.", nil, m.replacements.Load)
+		reg.CounterFunc("eternalgw_ftmgmt_upgrades_total",
+			"Live upgrades completed by the Evolution Manager.", nil, m.upgrades.Load)
+	}
+}
+
+// registerGroupGauge publishes the live replica count of one managed
+// group. Callers hold mu.
+func (m *Manager) registerGroupGauge(id replication.GroupID) {
+	if m.reg == nil || len(m.hosts) == 0 {
+		return
+	}
+	rm := m.hosts[0].RM
+	m.reg.GaugeFunc("eternalgw_ftmgmt_group_replicas",
+		"Live replicas of a managed object group.",
+		obs.Labels{"group": fmt.Sprintf("%d", id)},
+		func() float64 { return float64(len(rm.Members(id))) })
 }
 
 // AddHost makes a processor available for placement.
@@ -187,8 +225,10 @@ func (m *Manager) CreateReplicatedObject(id replication.GroupID, props Propertie
 	}
 	m.mu.Lock()
 	m.groups[id] = &managedGroup{id: id, props: props, factory: factory}
+	m.registerGroupGauge(id)
 	hostCount := len(m.hosts)
 	m.mu.Unlock()
+	m.log.Infof("group %d: %s, initial=%d min=%d", id, props.Style, props.InitialReplicas, props.MinReplicas)
 	if props.InitialReplicas > hostCount {
 		return fmt.Errorf("%w: need %d hosts, have %d", ErrNoHosts, props.InitialReplicas, hostCount)
 	}
@@ -267,8 +307,12 @@ func (m *Manager) reconcile() {
 	for _, g := range groups {
 		for len(rm.Members(g.id)) < g.props.MinReplicas {
 			if err := m.placeOne(g.id, g.factory); err != nil {
+				m.log.Warnf("group %d: replacement failed: %v", g.id, err)
 				break // no host available now; retry next tick
 			}
+			m.replacements.Add(1)
+			m.log.Infof("group %d: replacement replica started (%d/%d live)",
+				g.id, len(rm.Members(g.id)), g.props.MinReplicas)
 		}
 	}
 }
@@ -317,6 +361,8 @@ func (m *Manager) Upgrade(id replication.GroupID, factory Factory) error {
 			return fmt.Errorf("ftmgmt: upgrade group %d: retire %s: %w", id, node, err)
 		}
 	}
+	m.upgrades.Add(1)
+	m.log.Infof("group %d: live upgrade complete, %d replicas replaced", id, len(old))
 	return nil
 }
 

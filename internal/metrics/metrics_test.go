@@ -53,6 +53,34 @@ func TestHistogramInterleavedRecordAndQuery(t *testing.T) {
 	}
 }
 
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	want := Snapshot{
+		Count: 100,
+		Sum:   5050 * time.Millisecond,
+		Mean:  50500 * time.Microsecond,
+		Min:   time.Millisecond,
+		Max:   100 * time.Millisecond,
+		P50:   50 * time.Millisecond,
+		P90:   90 * time.Millisecond,
+		P99:   99 * time.Millisecond,
+	}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+	// Snapshot must agree with the per-quantity accessors.
+	if s.P50 != h.Percentile(50) || s.Mean != h.Mean() || s.Max != h.Max() {
+		t.Fatal("snapshot disagrees with accessors")
+	}
+}
+
 func TestSummaryFormat(t *testing.T) {
 	var h Histogram
 	h.Record(time.Millisecond)
@@ -61,6 +89,25 @@ func TestSummaryFormat(t *testing.T) {
 		if !strings.Contains(s, part) {
 			t.Fatalf("summary %q missing %q", s, part)
 		}
+	}
+}
+
+func TestBoundedHistogramSlidesWindow(t *testing.T) {
+	h := NewBounded(3)
+	for i := 1; i <= 5; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	// Window holds the 3 most recent samples: 3ms, 4ms, 5ms.
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 3*time.Millisecond || h.Max() != 5*time.Millisecond {
+		t.Fatalf("window = [%v, %v]", h.Min(), h.Max())
+	}
+	// Recording after a query must displace the oldest, not a sorted slot.
+	h.Record(10 * time.Millisecond) // displaces 3ms
+	if h.Min() != 4*time.Millisecond || h.Max() != 10*time.Millisecond {
+		t.Fatalf("window after displace = [%v, %v]", h.Min(), h.Max())
 	}
 }
 

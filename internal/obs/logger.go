@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Log levels.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a name to a level, defaulting to info.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// sink is the shared backend of a logger family: one writer, one mutex,
+// one minimum level, however many component-tagged fronts.
+type sink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+}
+
+// Logger is a small leveled logger. Component-tagged children share
+// their parent's sink, so every line carries a consistent
+// "component=..." prefix and a single level switch governs the family.
+// A nil *Logger discards everything, which is the default for library
+// components.
+type Logger struct {
+	s         *sink
+	component string
+}
+
+// NewLogger creates a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	s := &sink{w: w}
+	s.min.Store(int32(min))
+	return &Logger{s: s}
+}
+
+// With returns a child logger tagged with a component name. It shares
+// the parent's writer and level.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s, component: component}
+}
+
+// SetLevel changes the minimum level for the whole logger family.
+func (l *Logger) SetLevel(min Level) {
+	if l == nil {
+		return
+	}
+	l.s.min.Store(int32(min))
+}
+
+// Enabled reports whether lines at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.s.min.Load()
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	comp := l.component
+	if comp == "" {
+		comp = "-"
+	}
+	line := fmt.Sprintf("%s level=%s component=%s %s\n",
+		time.Now().UTC().Format("2006-01-02T15:04:05.000Z"),
+		level, comp, fmt.Sprintf(format, args...))
+	l.s.mu.Lock()
+	_, _ = io.WriteString(l.s.w, line)
+	l.s.mu.Unlock()
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StatusFunc renders one named section of the /statusz page.
+type StatusFunc func() string
+
+// Server is the ops HTTP endpoint of a process: liveness and readiness
+// probes, the Prometheus scrape target, and a human-oriented /statusz
+// with the tracer's recent invocations and whatever status sections the
+// embedding process registers (e.g. per-group dedup-cache occupancy).
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	start  time.Time
+
+	ln   net.Listener
+	srv  *http.Server
+	wg   sync.WaitGroup
+	once sync.Once
+
+	ready atomic.Bool
+
+	mu       sync.Mutex
+	sections []statusSection
+}
+
+type statusSection struct {
+	name string
+	fn   StatusFunc
+}
+
+// NewServer starts the ops server on addr ("host:port"; port 0 for
+// ephemeral). Either reg or tracer may be nil; the endpoints then render
+// what exists.
+func NewServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, tracer: tracer, start: time.Now(), ln: ln}
+	s.srv = &http.Server{Handler: s.Handler()}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// NewHandler builds the ops endpoints without a listener, for embedding
+// in an existing mux or an httptest server.
+func NewHandler(reg *Registry, tracer *Tracer) *Server {
+	return &Server{reg: reg, tracer: tracer, start: time.Now()}
+}
+
+// Handler returns the ops mux (usable directly with httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return mux
+}
+
+// Addr returns the listen address (empty for handler-only servers).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// SetReady flips the /readyz state; processes call it once their domain
+// is synchronized and gateways are listening.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// AddStatusSection registers a named /statusz section.
+func (s *Server) AddStatusSection(name string, fn StatusFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sections = append(s.sections, statusSection{name: name, fn: fn})
+}
+
+// Close stops the listener and waits for the serve loop.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	var err error
+	s.once.Do(func() {
+		err = s.srv.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = fmt.Fprintln(w, "not ready")
+		return
+	}
+	_, _ = fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "eternalgw ops status\nuptime: %v\nready: %v\n",
+		time.Since(s.start).Round(time.Millisecond), s.ready.Load())
+
+	if s.tracer != nil {
+		recent := s.tracer.Recent()
+		fmt.Fprintf(&b, "\n== recent traces (%d retained, %d in flight) ==\n",
+			len(recent), s.tracer.ActiveCount())
+		const maxShown = 32
+		for i, tr := range recent {
+			if i == maxShown {
+				fmt.Fprintf(&b, "... %d more\n", len(recent)-maxShown)
+				break
+			}
+			state := "done"
+			if !tr.Done {
+				state = "incomplete"
+			}
+			fmt.Fprintf(&b, "trace %s %s total=%v\n", tr.Key, state, tr.Total().Round(time.Microsecond))
+			for _, h := range tr.Breakdown() {
+				fmt.Fprintf(&b, "  %-20s -> %-20s %v\n", h.From, h.To, h.D.Round(time.Microsecond))
+			}
+		}
+	}
+
+	s.mu.Lock()
+	sections := append([]statusSection(nil), s.sections...)
+	s.mu.Unlock()
+	sort.SliceStable(sections, func(i, j int) bool { return sections[i].name < sections[j].name })
+	for _, sec := range sections {
+		fmt.Fprintf(&b, "\n== %s ==\n%s", sec.name, strings.TrimRight(sec.fn(), "\n")+"\n")
+	}
+	_, _ = w.Write([]byte(b.String()))
+}

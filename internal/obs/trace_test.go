@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerLifecycleAndBreakdown(t *testing.T) {
+	tr := NewTracer(8)
+	key := TraceKey{ClientID: 42, ParentTS: 0, ChildSeq: 7}
+	base := time.Now()
+	tr.EventAt(key, StageGatewayAccept, base, "gw0")
+	tr.EventAt(key, StageIIOPDecode, base.Add(1*time.Millisecond), "gw0")
+	tr.EventAt(key, StageMulticastSend, base.Add(2*time.Millisecond), "gw0")
+	tr.EventAt(key, StageDeliver, base.Add(3*time.Millisecond), "p00")
+	tr.EventAt(key, StageDeliver, base.Add(4*time.Millisecond), "p01")
+	tr.EventAt(key, StageExecute, base.Add(5*time.Millisecond), "p00")
+	tr.EventAt(key, StageReplyWrite, base.Add(6*time.Millisecond), "gw0")
+
+	if n := tr.ActiveCount(); n != 0 {
+		t.Fatalf("trace should have completed; %d active", n)
+	}
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("want 1 recent trace, got %d", len(recent))
+	}
+	got := recent[0]
+	if !got.Done || got.Key != key {
+		t.Fatalf("bad trace: %+v", got)
+	}
+	if got.Total() != 6*time.Millisecond {
+		t.Fatalf("total = %v", got.Total())
+	}
+	hops := got.Breakdown()
+	// accept->decode->multicast->deliver->execute->reply: 5 hops, and the
+	// breakdown uses the FIRST deliver event.
+	if len(hops) != 5 {
+		t.Fatalf("want 5 hops, got %d: %+v", len(hops), hops)
+	}
+	if hops[2].To != StageDeliver || hops[2].D != time.Millisecond {
+		t.Fatalf("deliver hop = %+v", hops[2])
+	}
+	if hops[4].From != StageExecute || hops[4].To != StageReplyWrite {
+		t.Fatalf("last hop = %+v", hops[4])
+	}
+}
+
+func TestTracerDropsEventsForUnknownKeys(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Event(TraceKey{ClientID: 1}, StageExecute, "")
+	tr.Event(TraceKey{ClientID: 1}, StageReplyWrite, "")
+	if n := len(tr.Recent()); n != 0 {
+		t.Fatalf("orphan events must not create traces; got %d", n)
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		key := TraceKey{ClientID: uint64(i)}
+		tr.Event(key, StageGatewayAccept, "")
+		tr.Event(key, StageReplyWrite, "")
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring should retain 4, got %d", len(recent))
+	}
+	// Newest first: client ids 9,8,7,6.
+	for i, tr := range recent {
+		if want := uint64(9 - i); tr.Key.ClientID != want {
+			t.Fatalf("recent[%d].ClientID = %d, want %d", i, tr.Key.ClientID, want)
+		}
+	}
+}
+
+func TestTracerEvictsStuckTraces(t *testing.T) {
+	tr := NewTracer(2) // in-flight bound = 8
+	for i := 0; i < 9; i++ {
+		tr.Event(TraceKey{ClientID: uint64(i)}, StageGatewayAccept, "")
+	}
+	if n := tr.ActiveCount(); n != 8 {
+		t.Fatalf("active = %d, want 8", n)
+	}
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].Done {
+		t.Fatalf("evicted trace should appear incomplete in ring: %+v", recent)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Event(TraceKey{}, StageGatewayAccept, "")
+	tr.EventAt(TraceKey{}, StageReplyWrite, time.Now(), "")
+	if tr.Recent() != nil || tr.ActiveCount() != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+	tr.Register(NewRegistry())
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := TraceKey{ClientID: uint64(w), ChildSeq: uint32(i)}
+				tr.Event(key, StageGatewayAccept, "gw")
+				tr.Event(key, StageDeliver, "p")
+				tr.Event(key, StageReplyWrite, "gw")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Recent()); got != 32 {
+		t.Fatalf("ring size = %d", got)
+	}
+}

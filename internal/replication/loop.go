@@ -4,6 +4,7 @@ import (
 	"eternalgw/internal/cdr"
 	"eternalgw/internal/giop"
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/totem"
 )
 
@@ -277,6 +278,11 @@ func (m *Mechanisms) deliverInvocation(msg Message, ts uint64) {
 		m.mu.Unlock()
 		return
 	}
+	// The deliver span fires only on nodes hosting a servant for the
+	// destination group: the gateway-group record multicast reuses the
+	// real invocation's operation identifier and would otherwise pollute
+	// that trace with an earlier deliver hop.
+	m.tracer.Event(traceKey(msg.Header), obs.StageDeliver, string(m.cfg.NodeID))
 	r := g.local
 	execute := true
 	logOnly := false
@@ -309,6 +315,7 @@ func (m *Mechanisms) deliverResponse(msg Message, sender memnet.NodeID, ts uint6
 	if len(calls) == 0 {
 		if _, done := m.recentDone[key]; done {
 			m.duplicateResponses.Add(1)
+			m.tracer.Event(traceKey(msg.Header), obs.StageDupSuppressed, string(m.cfg.NodeID)+"/response")
 		}
 		m.mu.Unlock()
 		return

@@ -10,6 +10,7 @@ import (
 	"eternalgw/internal/giop"
 	"eternalgw/internal/logrec"
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/totem"
 )
 
@@ -74,9 +75,10 @@ type pendingCall struct {
 // Mechanisms is the per-node replication engine. Create with New, stop
 // with Stop.
 type Mechanisms struct {
-	cfg  Config
-	node *totem.Node
-	log  *logrec.Log
+	cfg    Config
+	node   *totem.Node
+	log    *logrec.Log
+	tracer *obs.Tracer // nil when tracing is disabled
 
 	stop chan struct{}
 	done chan struct{}
@@ -100,6 +102,7 @@ type Mechanisms struct {
 	invocationsSent      atomic.Uint64
 	invocationsExecuted  atomic.Uint64
 	duplicateInvocations atomic.Uint64
+	dedupMisses          atomic.Uint64
 	responsesSent        atomic.Uint64
 	responsesDelivered   atomic.Uint64
 	duplicateResponses   atomic.Uint64
@@ -120,6 +123,7 @@ func New(cfg Config) (*Mechanisms, error) {
 	m := &Mechanisms{
 		cfg:        cfg,
 		node:       cfg.Node,
+		tracer:     cfg.Tracer,
 		log:        logrec.NewLog(),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -131,8 +135,61 @@ func New(cfg Config) (*Mechanisms, error) {
 		recentDone: make(map[opKey]struct{}),
 		changed:    make(chan struct{}),
 	}
+	m.registerMetrics(cfg.Metrics)
 	go m.run()
 	return m, nil
+}
+
+// registerMetrics publishes the mechanisms' counters on the registry,
+// labelled with this node's identity. The datapath keeps its bare
+// atomic increments; the registry reads only at scrape time.
+func (m *Mechanisms) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := obs.Labels{"node": string(m.cfg.NodeID)}
+	for _, c := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"eternalgw_replication_invocations_sent_total", "Invocations multicast by this node.", m.invocationsSent.Load},
+		{"eternalgw_replication_invocations_executed_total", "Invocations executed by local replicas.", m.invocationsExecuted.Load},
+		{"eternalgw_replication_duplicate_invocations_total", "Duplicate invocations detected and suppressed (dedup hits).", m.duplicateInvocations.Load},
+		{"eternalgw_replication_dedup_misses_total", "Executed invocations that were not duplicates (dedup misses).", m.dedupMisses.Load},
+		{"eternalgw_replication_responses_sent_total", "Responses multicast by local replicas.", m.responsesSent.Load},
+		{"eternalgw_replication_responses_delivered_total", "Responses delivered to local pending invocations.", m.responsesDelivered.Load},
+		{"eternalgw_replication_duplicate_responses_total", "Duplicate responses detected and suppressed.", m.duplicateResponses.Load},
+		{"eternalgw_replication_state_transfers_total", "State transfers donated.", m.stateTransfers.Load},
+		{"eternalgw_replication_state_syncs_total", "Warm-passive state synchronizations published.", m.stateSyncs.Load},
+		{"eternalgw_replication_checkpoints_total", "Cold-passive checkpoints written.", m.checkpoints.Load},
+		{"eternalgw_replication_failovers_total", "Passive-group failovers performed.", m.failovers.Load},
+		{"eternalgw_replication_replayed_invocations_total", "Invocations re-executed during failover.", m.replayedInvocations.Load},
+	} {
+		reg.CounterFunc(c.name, c.help, lbl, c.fn)
+	}
+	reg.GaugeFunc("eternalgw_replication_dedup_cache_entries", "Executed-operation records held for duplicate detection, all local replicas.", lbl, func() float64 {
+		total := 0
+		for _, n := range m.DedupOccupancy() {
+			total += n
+		}
+		return float64(total)
+	})
+}
+
+// DedupOccupancy reports, per group with a local servant replica, how
+// many executed-operation records the replica's duplicate-detection
+// cache currently holds (the /statusz dedup section and capacity-tuning
+// diagnostics read this).
+func (m *Mechanisms) DedupOccupancy() map[GroupID]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[GroupID]int)
+	for id, g := range m.groups {
+		if g.local != nil && g.local.app != nil {
+			out[id] = int(g.local.dedupLen.Load())
+		}
+	}
+	return out
 }
 
 // NodeID returns the identity of the node these mechanisms run on.
@@ -154,6 +211,7 @@ func (m *Mechanisms) Stats() Stats {
 		InvocationsSent:      m.invocationsSent.Load(),
 		InvocationsExecuted:  m.invocationsExecuted.Load(),
 		DuplicateInvocations: m.duplicateInvocations.Load(),
+		DedupMisses:          m.dedupMisses.Load(),
 		ResponsesSent:        m.responsesSent.Load(),
 		ResponsesDelivered:   m.responsesDelivered.Load(),
 		DuplicateResponses:   m.duplicateResponses.Load(),
@@ -366,6 +424,8 @@ func (m *Mechanisms) Invoke(src GroupID, clientID uint64, dst GroupID, op Operat
 		return giop.Reply{}, err
 	}
 	m.invocationsSent.Add(1)
+	m.tracer.Event(obs.TraceKey{ClientID: clientID, ParentTS: op.ParentTS, ChildSeq: op.ChildSeq},
+		obs.StageMulticastSend, string(m.cfg.NodeID))
 
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()

@@ -11,6 +11,7 @@ import (
 	"eternalgw/internal/giop"
 	"eternalgw/internal/logrec"
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/orb"
 )
 
@@ -115,6 +116,7 @@ type replica struct {
 	// executor-owned state.
 	executed     map[opKey]giop.Reply
 	executedFIFO []opKey
+	dedupLen     atomic.Int64 // len(executed), readable off the executor
 	opCount      uint64
 	lastOpTS     uint64
 	pendingLog   []logrec.Entry // warm-passive backup replay log
@@ -200,9 +202,11 @@ func (r *replica) executeInvocation(msg Message, ts uint64, replay bool) {
 	key := opKey{src: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
 	if rep, ok := r.executed[key]; ok {
 		r.m.duplicateInvocations.Add(1)
+		r.m.tracer.Event(traceKey(msg.Header), obs.StageDupSuppressed, string(r.m.cfg.NodeID))
 		r.respond(msg, rep)
 		return
 	}
+	r.m.dedupMisses.Add(1)
 	wire, err := giop.Unmarshal(msg.Payload)
 	if err != nil {
 		return
@@ -218,6 +222,7 @@ func (r *replica) executeInvocation(msg Message, ts uint64, replay bool) {
 	r.curParentTS = 0
 
 	r.m.invocationsExecuted.Add(1)
+	r.m.tracer.Event(traceKey(msg.Header), obs.StageExecute, string(r.m.cfg.NodeID))
 	if replay {
 		r.m.replayedInvocations.Add(1)
 	}
@@ -243,6 +248,7 @@ func (r *replica) remember(key opKey, rep giop.Reply) {
 		r.executedFIFO = r.executedFIFO[1:]
 		delete(r.executed, old)
 	}
+	r.dedupLen.Store(int64(len(r.executed)))
 }
 
 // respond multicasts a response addressed to the invoker's group,

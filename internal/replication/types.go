@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 	"eternalgw/internal/orb"
 	"eternalgw/internal/totem"
 )
@@ -140,6 +141,13 @@ type Config struct {
 	// component keeps serving, and reconciliation is the application's
 	// concern.
 	QuorumOf int
+	// Metrics, when set, receives the mechanisms' counters and the
+	// dedup-cache occupancy gauge, labelled with this node's id.
+	Metrics *obs.Registry
+	// Tracer, when set, records span events at total-order delivery,
+	// replica execution and duplicate suppression. Nil — the default —
+	// disables tracing; the datapath then pays one nil check per hop.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -166,7 +174,8 @@ func (c *Config) applyDefaults() {
 type Stats struct {
 	InvocationsSent      uint64
 	InvocationsExecuted  uint64
-	DuplicateInvocations uint64 // detected and suppressed
+	DuplicateInvocations uint64 // dedup hits: detected and suppressed
+	DedupMisses          uint64 // executions that were not duplicates
 	ResponsesSent        uint64
 	ResponsesDelivered   uint64
 	DuplicateResponses   uint64 // detected and suppressed
@@ -175,4 +184,11 @@ type Stats struct {
 	Checkpoints          uint64
 	Failovers            uint64
 	ReplayedInvocations  uint64
+}
+
+// traceKey derives the obs trace key of a message: the paper's
+// operation identifier plus the client identifier, identical at every
+// replica, so span events emitted on different nodes join one trace.
+func traceKey(h Header) obs.TraceKey {
+	return obs.TraceKey{ClientID: h.ClientID, ParentTS: h.Op.ParentTS, ChildSeq: h.Op.ChildSeq}
 }

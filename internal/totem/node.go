@@ -10,6 +10,7 @@ import (
 
 	"eternalgw/internal/cdr"
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 )
 
 // EventType distinguishes the events a node emits.
@@ -110,8 +111,30 @@ func Start(cfg Config) (*Node, error) {
 		buffer:  make(map[uint64]regularMsg),
 		skipped: make(map[uint64]bool),
 	}
+	n.registerMetrics(cfg.Metrics)
 	go n.run()
 	return n, nil
+}
+
+// registerMetrics publishes the protocol counters on the registry.
+func (n *Node) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := obs.Labels{"node": string(n.cfg.ID)}
+	for _, c := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"eternalgw_totem_broadcast_total", "Regular messages this node originated.", n.broadcastN.Load},
+		{"eternalgw_totem_delivered_total", "Regular messages delivered to the application in total order.", n.deliveredN.Load},
+		{"eternalgw_totem_retransmitted_total", "Retransmissions this node served.", n.retransmittedN.Load},
+		{"eternalgw_totem_skipped_total", "Sequence numbers declared unrecoverable and skipped.", n.skippedN.Load},
+		{"eternalgw_totem_token_passes_total", "Tokens this node forwarded.", n.tokenPassN.Load},
+		{"eternalgw_totem_reconfigs_total", "Ring installations this node participated in.", n.reconfigN.Load},
+	} {
+		reg.CounterFunc(c.name, c.help, lbl, c.fn)
+	}
 }
 
 // ID returns the node's identity.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"eternalgw/internal/memnet"
+	"eternalgw/internal/obs"
 )
 
 // Delivery is one totally-ordered message handed to the application.
@@ -102,6 +103,11 @@ type Config struct {
 	// retransmission request survives before the leader declares the
 	// message unrecoverable and skips it. Zero means 4.
 	SkipAge int
+
+	// Metrics, when set, exposes the node's protocol counters on the
+	// registry, labelled node=<ID>. The protocol goroutine keeps its
+	// bare atomic counters; the registry reads them only at scrape time.
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
