@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench clean
+.PHONY: build test vet race check bench bench-baseline clean
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,20 @@ race:
 # test suite under the race detector.
 check: vet race
 
-# bench reproduces the gateway round-trip numbers recorded in
-# BENCH_baseline.json (baseline vs instrumented datapath).
+# bench runs the datapath throughput suite (round trips, multi-client
+# load, packing on/off ablation) with the same methodology as the
+# recorded BENCH_*.json trajectory files, then prints a JSON summary in
+# the BENCH_baseline.json schema for side-by-side comparison. Override
+# BENCH_COUNT for more repetitions.
+BENCH_COUNT ?= 3
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkE5GatewayLoopsInstrumented' -benchtime 2s -count 3 .
+	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkGatewayRoundTrip|BenchmarkGatewayMultiClient|BenchmarkGatewayPacking' -benchtime 2s -count $(BENCH_COUNT) . | tee /tmp/bench_run.txt
+	@awk -f scripts/benchjson.awk /tmp/bench_run.txt
+
+# bench-baseline reproduces the original gateway round-trip numbers
+# recorded in BENCH_baseline.json (baseline vs instrumented datapath).
+bench-baseline:
+	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkE5GatewayLoopsInstrumented' -benchtime 2s -count $(BENCH_COUNT) .
 
 clean:
 	$(GO) clean ./...

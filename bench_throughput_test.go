@@ -1,0 +1,135 @@
+// Throughput benchmarks for the gateway datapath: single-client round
+// trips and multi-client concurrent load, with small and large payloads.
+// BENCH_pr2.json records these before and after the datapath overhaul
+// (totem message packing, single-multicast request path, sharded record,
+// wire-path allocation trims).
+//
+// Run with: make bench
+package eternalgw_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"eternalgw/internal/experiments"
+	"eternalgw/internal/orb"
+	"eternalgw/internal/replication"
+)
+
+// throughputSizes are the request payload sizes the suite sweeps: a
+// small control-plane-like payload and a large data-plane one.
+var throughputSizes = []struct {
+	name string
+	n    int
+}{
+	{"small", 64},
+	{"large", 16 << 10},
+}
+
+// BenchmarkGatewayRoundTrip measures one full client->gateway->domain
+// round trip per iteration (the figure 5 loops), per payload size.
+func BenchmarkGatewayRoundTrip(b *testing.B) {
+	for _, size := range throughputSizes {
+		b.Run(size.name, func(b *testing.B) {
+			d := benchDomain(b, 3)
+			benchDeploy(b, d, replication.Active, 2)
+			gw, err := d.AddGateway(2, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn, err := orb.Dial(gw.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = conn.Close() })
+			args := experiments.OctetSeqArg(make([]byte, size.n))
+			b.SetBytes(int64(size.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Call([]byte(benchKey), "echo", args, orb.InvokeOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGatewayMultiClient measures aggregate throughput with many
+// concurrent external clients, each on its own TCP connection with one
+// request in flight: the shape a loaded gateway actually serves, where
+// the totem ring carries many small messages per token rotation.
+func BenchmarkGatewayMultiClient(b *testing.B) {
+	for _, clients := range []int{4, 16, 48} {
+		for _, size := range throughputSizes {
+			b.Run(fmt.Sprintf("c=%d/%s", clients, size.name), func(b *testing.B) {
+				benchMultiClient(b, clients, size.n, false)
+			})
+		}
+	}
+}
+
+// BenchmarkGatewayPacking runs the heaviest multi-client shape with totem
+// message packing on and off, as the ablation control proving how much of
+// the throughput comes from packing (one sequence number and one datagram
+// carrying many pending payloads per token visit).
+func BenchmarkGatewayPacking(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchMultiClient(b, 16, 64, mode.disable)
+		})
+	}
+}
+
+func benchMultiClient(b *testing.B, clients, payload int, disablePacking bool) {
+	d := benchDomainPacking(b, 3, disablePacking)
+	benchDeploy(b, d, replication.Active, 2)
+	gw, err := d.AddGateway(2, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conns := make([]*orb.Conn, clients)
+	for i := range conns {
+		c, err := orb.Dial(gw.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = c.Close() })
+		conns[i] = c
+	}
+	args := experiments.OctetSeqArg(make([]byte, payload))
+	b.SetBytes(int64(payload))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / clients
+	extra := b.N % clients
+	var firstErr error
+	var errMu sync.Mutex
+	for i, c := range conns {
+		n := per
+		if i < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(c *orb.Conn, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if _, err := c.Call([]byte(benchKey), "echo", args, orb.InvokeOptions{}); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		b.Fatal(firstErr)
+	}
+}

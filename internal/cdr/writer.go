@@ -26,6 +26,16 @@ func NewWriter(order ByteOrder) *Writer {
 	return &Writer{buf: make([]byte, 0, 64), order: order}
 }
 
+// NewWriterCap returns a Writer whose buffer is preallocated to the given
+// capacity, for callers that can bound the encoded size up front and want
+// to avoid growth copies on the hot path.
+func NewWriterCap(order ByteOrder, capacity int) *Writer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Writer{buf: make([]byte, 0, capacity), order: order}
+}
+
 // Order reports the byte order the writer encodes with.
 func (w *Writer) Order() ByteOrder { return w.order }
 

@@ -114,17 +114,19 @@ type Gateway struct {
 	// counters assigns TCP client identifiers per destination server
 	// group, as in paper section 3.2.
 	counters map[replication.GroupID]uint64
-	// seen records operation keys observed by the gateway group, to
-	// detect reinvocations.
-	seen     map[cacheKey]struct{}
-	seenFIFO []cacheKey
-	// replies caches responses observed by the gateway group, so a
-	// reissued invocation can be answered by any gateway.
-	replies     map[cacheKey]giop.Reply
-	repliesFIFO []cacheKey
+	// records is the section 3.5 gateway-group record: request keys seen
+	// (reinvocation detection) and responses (answering reissues),
+	// sharded by client identifier so the datapath does not serialize
+	// behind mu.
+	records *recordStore
 	// instanceNonce distinguishes this gateway instance's counter-
 	// assigned client identifiers from any other gateway's.
 	instanceNonce uint64
+
+	// departq carries departed-client notifications from the replication
+	// event loop (whose observer must not block) to the departure worker.
+	departq chan uint64
+	quit    chan struct{}
 
 	wg sync.WaitGroup
 
@@ -172,8 +174,9 @@ func New(cfg Config) (*Gateway, error) {
 		tracer:        cfg.Tracer,
 		conns:         make(map[net.Conn]struct{}),
 		counters:      make(map[replication.GroupID]uint64),
-		seen:          make(map[cacheKey]struct{}),
-		replies:       make(map[cacheKey]giop.Reply),
+		records:       newRecordStore(cfg.ReplyCacheSize),
+		departq:       make(chan uint64, 1024),
+		quit:          make(chan struct{}),
 		instanceNonce: binary.BigEndian.Uint64(nonce[:]) &^ counterIDBit,
 	}
 	g.registerMetrics(cfg.Metrics)
@@ -185,8 +188,9 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	g.rm.SetObserver(cfg.Group, g.observe)
-	g.wg.Add(1)
+	g.wg.Add(2)
 	go g.acceptLoop()
+	go g.departureLoop()
 	return g, nil
 }
 
@@ -276,6 +280,7 @@ func (g *Gateway) Close() error {
 		return nil
 	}
 	g.closed = true
+	close(g.quit)
 	conns := make([]net.Conn, 0, len(g.conns))
 	for c := range g.conns {
 		conns = append(conns, c)
@@ -481,42 +486,27 @@ func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request, arrived 
 
 	// A reissued invocation (after the client failed over from a dead
 	// gateway) may already have been answered; the gateway group's
-	// record answers it without touching the servers.
-	if rep, ok := gw.cachedReply(key); ok && !gw.cfg.DisableGroupRecord {
-		gw.answeredFromCache.Add(1)
-		gw.tracer.Event(tkey, obs.StageDupSuppressed, "gateway-record")
-		if req.ResponseExpected {
-			gw.repliesReturned.Add(1)
-			cc.writeReplyRaw(msg, req, rep)
-			gw.tracer.Event(tkey, obs.StageReplyWrite, "gateway")
+	// record answers it without touching the servers. The cheap flag is
+	// tested before the cache lookup takes a shard lock.
+	if !gw.cfg.DisableGroupRecord {
+		if rep, ok := gw.cachedReply(key); ok {
+			gw.answeredFromCache.Add(1)
+			gw.tracer.Event(tkey, obs.StageDupSuppressed, "gateway-record")
+			if req.ResponseExpected {
+				gw.repliesReturned.Add(1)
+				cc.writeReplyRaw(msg, req, rep)
+				gw.tracer.Event(tkey, obs.StageReplyWrite, "gateway")
+			}
+			gw.observeLatency(arrived)
+			return
 		}
-		gw.observeLatency(arrived)
-		return
 	}
 
-	// Record the request with the whole gateway group before forwarding
-	// (paper section 3.5), so every gateway knows of it.
-	if !gw.cfg.DisableGroupRecord {
-		reqWire, err := giop.EncodeRequest(msg.Header.Order, req)
-		if err != nil {
-			gw.log.Errorf("re-encode request: %v", err)
-			return
-		}
-		record := replication.Message{
-			Header: replication.Header{
-				Kind:     replication.KindInvocation,
-				ClientID: clientID,
-				SrcGroup: gw.cfg.Group,
-				DstGroup: gw.cfg.Group, // addressed to the gateways themselves
-				Op:       op,
-			},
-			Payload: giop.Marshal(reqWire),
-		}
-		if err := gw.rm.MulticastMessage(record); err != nil {
-			gw.requestsAbandoned.Add(1)
-			return
-		}
-	}
+	// The section 3.5 request record rides on the invocation itself: the
+	// gateways observe the invocation (whose source group is theirs) at
+	// its place in the total order and build the same (client, op)
+	// record a separate record multicast used to carry — one ordered
+	// multicast and one request encoding per request instead of two.
 
 	gw.requestsForwarded.Add(1)
 	if !req.ResponseExpected {
@@ -553,6 +543,9 @@ func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request, arrived 
 			})
 			gw.tracer.Event(tkey, obs.StageReplyWrite, "gateway-exception")
 		}
+		// Abandoned and excepted requests are exactly the slow ones; the
+		// latency histogram must include them.
+		gw.observeLatency(arrived)
 		return
 	}
 	if req.ResponseExpected && !cc.isCancelled(req.RequestID) {
@@ -627,29 +620,33 @@ func (g *Gateway) announceDepartures(cc *clientConn) {
 	}
 }
 
-// dropClientState deletes every record kept for a departed client.
-// Callers must not hold g.mu.
-func (g *Gateway) dropClientState(clientID uint64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	kept := g.seenFIFO[:0]
-	for _, k := range g.seenFIFO {
-		if k.clientID == clientID {
-			delete(g.seen, k)
-			continue
+// departureLoop processes departed-client notifications off the
+// replication event loop: the observer contract forbids blocking there,
+// and deleting a client's records walks its whole record shard.
+func (g *Gateway) departureLoop() {
+	defer g.wg.Done()
+	for {
+		select {
+		case id := <-g.departq:
+			g.processDeparture(id)
+		case <-g.quit:
+			// Drain notifications already queued so departures observed
+			// before shutdown still clean up.
+			for {
+				select {
+				case id := <-g.departq:
+					g.processDeparture(id)
+				default:
+					return
+				}
+			}
 		}
-		kept = append(kept, k)
 	}
-	g.seenFIFO = kept
-	keptR := g.repliesFIFO[:0]
-	for _, k := range g.repliesFIFO {
-		if k.clientID == clientID {
-			delete(g.replies, k)
-			continue
-		}
-		keptR = append(keptR, k)
-	}
-	g.repliesFIFO = keptR
+}
+
+func (g *Gateway) processDeparture(clientID uint64) {
+	g.records.dropClient(clientID)
+	g.clientsDeparted.Add(1)
 }
 
 // observe is the gateway-group observer: it records requests (to detect
@@ -659,38 +656,42 @@ func (g *Gateway) dropClientState(clientID uint64) {
 func (g *Gateway) observe(msg replication.Message, ts uint64) {
 	switch msg.Header.Kind {
 	case replication.KindGatewayControl:
-		// A client departed somewhere in the gateway group: delete the
-		// state stored on its behalf.
+		// A client departed somewhere in the gateway group: hand the
+		// cleanup to the departure worker.
 		if msg.Header.ClientID != replication.UnusedClientID {
-			g.clientsDeparted.Add(1)
-			g.dropClientState(msg.Header.ClientID)
-		}
-		return
-	}
-	switch msg.Header.Kind {
-	case replication.KindInvocation:
-		// Request records are addressed to the gateway group itself.
-		if msg.Header.DstGroup != g.cfg.Group || msg.Header.ClientID == replication.UnusedClientID {
-			return
-		}
-		// The record does not name the final server group; reinvocation
-		// detection keys on (client, op) with the gateway group.
-		key := cacheKey{group: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
-		g.mu.Lock()
-		if _, ok := g.seen[key]; ok {
-			g.reinvocationsDetected.Add(1)
-		} else {
-			g.seen[key] = struct{}{}
-			g.seenFIFO = append(g.seenFIFO, key)
-			if len(g.seenFIFO) > g.cfg.ReplyCacheSize {
-				old := g.seenFIFO[0]
-				g.seenFIFO = g.seenFIFO[1:]
-				delete(g.seen, old)
+			select {
+			case g.departq <- msg.Header.ClientID:
+			case <-g.quit:
+			default:
+				// Queue full: shed to a goroutine rather than block the
+				// event loop.
+				g.wg.Add(1)
+				go func(id uint64) {
+					defer g.wg.Done()
+					g.processDeparture(id)
+				}(msg.Header.ClientID)
 			}
 		}
-		g.mu.Unlock()
+		return
+	case replication.KindInvocation:
+		if g.cfg.DisableGroupRecord || msg.Header.ClientID == replication.UnusedClientID {
+			return
+		}
+		// The record rides on the invocation itself: every invocation a
+		// gateway of this group conveys has this group as its source, and
+		// the replication mechanisms dispatch it to the source group's
+		// observer at its place in the total order. Reinvocation
+		// detection keys on (client, op) with the gateway group, exactly
+		// as the former separate record multicast did.
+		if msg.Header.SrcGroup != g.cfg.Group {
+			return
+		}
+		key := cacheKey{group: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
+		if g.records.noteSeen(key) {
+			g.reinvocationsDetected.Add(1)
+		}
 	case replication.KindResponse:
-		if msg.Header.ClientID == replication.UnusedClientID {
+		if g.cfg.DisableGroupRecord || msg.Header.ClientID == replication.UnusedClientID {
 			return
 		}
 		wire, err := giop.Unmarshal(msg.Payload)
@@ -702,39 +703,18 @@ func (g *Gateway) observe(msg replication.Message, ts uint64) {
 			return
 		}
 		key := cacheKey{group: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
-		g.mu.Lock()
-		if _, ok := g.replies[key]; !ok {
-			g.replies[key] = rep
-			g.repliesFIFO = append(g.repliesFIFO, key)
-			if len(g.repliesFIFO) > g.cfg.ReplyCacheSize {
-				old := g.repliesFIFO[0]
-				g.repliesFIFO = g.repliesFIFO[1:]
-				delete(g.replies, old)
-			}
-		}
-		g.mu.Unlock()
+		g.records.storeReply(key, rep)
 	}
 }
 
 func (g *Gateway) cachedReply(key cacheKey) (giop.Reply, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	rep, ok := g.replies[key]
-	return rep, ok
+	return g.records.reply(key)
 }
 
 // RecordedReplies reports how many responses the gateway currently holds
 // in its gateway-group record (diagnostics and tests).
-func (g *Gateway) RecordedReplies() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.replies)
-}
+func (g *Gateway) RecordedReplies() int { return g.records.countReplies() }
 
 // RecordedRequests reports how many request records the gateway holds.
-func (g *Gateway) RecordedRequests() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.seen)
-}
+func (g *Gateway) RecordedRequests() int { return g.records.countSeen() }
 

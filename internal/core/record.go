@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sync"
+
+	"eternalgw/internal/giop"
+)
+
+// recordShards is how many locks the gateway-group record is split
+// across. Must be a power of two.
+const recordShards = 16
+
+// recordStore holds the section 3.5 gateway-group record: the request
+// keys seen by the group (to detect reinvocations) and the responses that
+// flowed through any gateway (to answer reissued invocations after a
+// gateway failure). It is sharded by client identifier so concurrent
+// clients do not contend on one lock, and each shard evicts FIFO through
+// a ring buffer in O(1) — the former single-map design shifted a shared
+// slice (s = s[1:]) per eviction, retaining the backing array and
+// serializing every record touch behind the gateway's global mutex.
+//
+// Sharding by client keeps all of one client's records in one shard, so
+// deleting a departed client's state touches a single shard.
+type recordStore struct {
+	shards [recordShards]recordShard
+}
+
+type recordShard struct {
+	mu          sync.Mutex
+	seen        map[cacheKey]struct{}
+	seenRing    keyRing
+	replies     map[cacheKey]giop.Reply
+	repliesRing keyRing
+}
+
+// keyRing is a fixed-capacity FIFO of cache keys: pushing into a full
+// ring overwrites the oldest slot and returns the displaced key so the
+// caller can drop its map entry.
+type keyRing struct {
+	buf  []cacheKey
+	head int // index of the oldest entry once the ring is full
+	max  int
+}
+
+func (r *keyRing) push(k cacheKey) (old cacheKey, evicted bool) {
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, k)
+		return cacheKey{}, false
+	}
+	old = r.buf[r.head]
+	r.buf[r.head] = k
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	return old, true
+}
+
+// compactDrop removes every key of the given client, calling drop for
+// each, and preserves the FIFO order of the rest. O(shard size); used
+// only for client departures, which run off the replication event loop.
+func (r *keyRing) compactDrop(clientID uint64, drop func(cacheKey)) {
+	n := len(r.buf)
+	if n == 0 {
+		return
+	}
+	kept := make([]cacheKey, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.buf[(r.head+i)%n]
+		if k.clientID == clientID {
+			drop(k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	r.buf = kept
+	r.head = 0
+}
+
+// newRecordStore builds a store bounded at roughly capacity entries per
+// record kind, split evenly across the shards.
+func newRecordStore(capacity int) *recordStore {
+	per := (capacity + recordShards - 1) / recordShards
+	if per < 1 {
+		per = 1
+	}
+	s := &recordStore{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.seen = make(map[cacheKey]struct{})
+		sh.replies = make(map[cacheKey]giop.Reply)
+		sh.seenRing.max = per
+		sh.repliesRing.max = per
+	}
+	return s
+}
+
+// shard maps a client identifier to its shard. Fibonacci hashing spreads
+// both counter-assigned identifiers (sequential values xor a nonce) and
+// enhanced clients' FNV hashes.
+func (s *recordStore) shard(clientID uint64) *recordShard {
+	return &s.shards[(clientID*0x9E3779B97F4A7C15)>>(64-4)&(recordShards-1)]
+}
+
+// noteSeen records a request key and reports whether the group had
+// already seen it (a reinvocation).
+func (s *recordStore) noteSeen(key cacheKey) bool {
+	sh := s.shard(key.clientID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.seen[key]; ok {
+		return true
+	}
+	sh.seen[key] = struct{}{}
+	if old, evicted := sh.seenRing.push(key); evicted {
+		delete(sh.seen, old)
+	}
+	return false
+}
+
+// storeReply caches a response under its operation key; the first
+// recorded response wins, matching the deduplication rule.
+func (s *recordStore) storeReply(key cacheKey, rep giop.Reply) {
+	sh := s.shard(key.clientID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.replies[key]; ok {
+		return
+	}
+	sh.replies[key] = rep
+	if old, evicted := sh.repliesRing.push(key); evicted {
+		delete(sh.replies, old)
+	}
+}
+
+// reply returns the recorded response for an operation key, if any.
+func (s *recordStore) reply(key cacheKey) (giop.Reply, bool) {
+	sh := s.shard(key.clientID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rep, ok := sh.replies[key]
+	return rep, ok
+}
+
+// dropClient deletes every record kept on a departed client's behalf.
+// Only that client's shard is touched.
+func (s *recordStore) dropClient(clientID uint64) {
+	sh := s.shard(clientID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.seenRing.compactDrop(clientID, func(k cacheKey) { delete(sh.seen, k) })
+	sh.repliesRing.compactDrop(clientID, func(k cacheKey) { delete(sh.replies, k) })
+}
+
+// countSeen reports the number of request records held.
+func (s *recordStore) countSeen() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.seen)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// countReplies reports the number of responses held.
+func (s *recordStore) countReplies() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.replies)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -14,7 +14,7 @@ import (
 // matters; primitive echo payloads used throughout this repository are
 // octet sequences, which carry their own alignment).
 func EncodeRequest(order cdr.ByteOrder, req Request) (Message, error) {
-	w := cdr.NewWriter(order)
+	w := cdr.NewWriterCap(order, requestSizeHint(req))
 	writeServiceContexts(w, req.ServiceContexts)
 	w.WriteULong(req.RequestID)
 	w.WriteBool(req.ResponseExpected)
@@ -63,9 +63,30 @@ func DecodeRequest(msg Message) (Request, error) {
 	return req, nil
 }
 
+// requestSizeHint bounds a request body's encoded size, so encoders can
+// preallocate their buffer instead of growing it through the default
+// 64-byte writer (fixed fields and alignment slack stay under the
+// 64-byte allowance).
+func requestSizeHint(req Request) int {
+	size := 64 + len(req.ObjectKey) + len(req.Operation) + len(req.Principal) + len(req.Args)
+	for _, sc := range req.ServiceContexts {
+		size += 16 + len(sc.Data)
+	}
+	return size
+}
+
+// replySizeHint is requestSizeHint for replies.
+func replySizeHint(rep Reply) int {
+	size := 32 + len(rep.Result)
+	for _, sc := range rep.ServiceContexts {
+		size += 16 + len(sc.Data)
+	}
+	return size
+}
+
 // EncodeReply builds a framed Reply message in the given byte order.
 func EncodeReply(order cdr.ByteOrder, rep Reply) (Message, error) {
-	w := cdr.NewWriter(order)
+	w := cdr.NewWriterCap(order, replySizeHint(rep))
 	writeServiceContexts(w, rep.ServiceContexts)
 	w.WriteULong(rep.RequestID)
 	w.WriteULong(uint32(rep.Status))

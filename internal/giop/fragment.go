@@ -63,6 +63,18 @@ func WriteMessageFragmented(w io.Writer, msg Message, fragSize int) error {
 	if err := writeWithFlags(w, first, true); err != nil {
 		return err
 	}
+
+	// One pooled buffer carries every continuation frame: header, request
+	// id (1.2) and chunk are appended into it and written in one call, so
+	// fragmenting a large body costs no per-fragment allocation.
+	bp := wireBufs.Get().(*[]byte)
+	defer putWireBuf(bp)
+	fh := Header{
+		Major: msg.Header.Major,
+		Minor: msg.Header.Minor,
+		Order: msg.Header.Order,
+		Type:  MsgFragment,
+	}
 	rest := msg.Body[fragSize:]
 	for len(rest) > 0 {
 		n := len(rest)
@@ -71,16 +83,15 @@ func WriteMessageFragmented(w io.Writer, msg Message, fragSize int) error {
 			n = fragSize
 			more = true
 		}
-		frag := Message{
-			Header: Header{
-				Major: msg.Header.Major,
-				Minor: msg.Header.Minor,
-				Order: msg.Header.Order,
-				Type:  MsgFragment,
-			},
+		fh.Size = uint32(len(reqID) + n)
+		buf := appendHeader((*bp)[:0], fh)
+		if more {
+			buf[6] |= flagMoreFragments
 		}
-		frag.Body = append(append([]byte(nil), reqID...), rest[:n]...)
-		if err := writeWithFlags(w, frag, more); err != nil {
+		buf = append(buf, reqID...)
+		buf = append(buf, rest[:n]...)
+		*bp = buf
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 		rest = rest[n:]
@@ -88,17 +99,21 @@ func WriteMessageFragmented(w io.Writer, msg Message, fragSize int) error {
 	return nil
 }
 
-// writeWithFlags writes one framed message with the more-fragments flag.
+// writeWithFlags writes one framed message with the more-fragments flag,
+// as a single Write from a pooled buffer.
 func writeWithFlags(w io.Writer, msg Message, more bool) error {
 	if len(msg.Body) > MaxMessageSize {
 		return ErrTooLarge
 	}
 	msg.Header.Size = uint32(len(msg.Body))
-	buf := encodeHeader(msg.Header)
+	bp := wireBufs.Get().(*[]byte)
+	defer putWireBuf(bp)
+	buf := appendHeader((*bp)[:0], msg.Header)
 	if more {
 		buf[6] |= flagMoreFragments
 	}
 	buf = append(buf, msg.Body...)
+	*bp = buf
 	_, err := w.Write(buf)
 	return err
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"eternalgw/internal/cdr"
 )
@@ -207,24 +208,29 @@ func ReadMessage(r io.Reader) (Message, error) {
 	return Message{Header: h, Body: body}, nil
 }
 
+// wireBufs pools frame-encode buffers so the framing writers emit each
+// message with a single Write call and no per-message allocation.
+var wireBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func putWireBuf(bp *[]byte) {
+	// Oversized buffers (a large fragmented body passed through) are left
+	// to the collector rather than pinned in the pool.
+	if cap(*bp) > 1<<20 {
+		return
+	}
+	*bp = (*bp)[:0]
+	wireBufs.Put(bp)
+}
+
 // WriteMessage writes msg, setting the header size from the body length.
 func WriteMessage(w io.Writer, msg Message) error {
-	if len(msg.Body) > MaxMessageSize {
-		return ErrTooLarge
-	}
-	msg.Header.Size = uint32(len(msg.Body))
-	buf := make([]byte, 0, HeaderSize+len(msg.Body))
-	buf = append(buf, encodeHeader(msg.Header)...)
-	buf = append(buf, msg.Body...)
-	_, err := w.Write(buf)
-	return err
+	return writeWithFlags(w, msg, false)
 }
 
 // Marshal returns the full wire form (header + body) of msg.
 func Marshal(msg Message) []byte {
 	msg.Header.Size = uint32(len(msg.Body))
-	out := make([]byte, 0, HeaderSize+len(msg.Body))
-	out = append(out, encodeHeader(msg.Header)...)
+	out := appendHeader(make([]byte, 0, HeaderSize+len(msg.Body)), msg.Header)
 	return append(out, msg.Body...)
 }
 
@@ -266,17 +272,20 @@ func parseHeader(hdr [HeaderSize]byte) (Header, error) {
 	return h, nil
 }
 
-func encodeHeader(h Header) []byte {
+// appendHeader appends the 12-byte wire header to dst, encoding the size
+// field directly in the header's byte order (no intermediate writer).
+func appendHeader(dst []byte, h Header) []byte {
 	if h.Major == 0 {
 		h.Major, h.Minor = 1, 0
 	}
-	out := make([]byte, HeaderSize)
-	copy(out, magic[:])
-	out[4], out[5] = h.Major, h.Minor
-	out[6] = byte(h.Order)
-	out[7] = byte(h.Type)
-	w := cdr.NewWriter(h.Order)
-	w.WriteULong(h.Size)
-	copy(out[8:], w.Bytes())
-	return out
+	dst = append(dst, magic[0], magic[1], magic[2], magic[3],
+		h.Major, h.Minor, byte(h.Order), byte(h.Type))
+	if h.Order == cdr.BigEndian {
+		return append(dst, byte(h.Size>>24), byte(h.Size>>16), byte(h.Size>>8), byte(h.Size))
+	}
+	return append(dst, byte(h.Size), byte(h.Size>>8), byte(h.Size>>16), byte(h.Size>>24))
+}
+
+func encodeHeader(h Header) []byte {
+	return appendHeader(make([]byte, 0, HeaderSize), h)
 }

@@ -58,7 +58,7 @@ func EncodeRequestV(order cdr.ByteOrder, minor byte, req Request) (Message, erro
 // encodeRequest11 builds a GIOP 1.1 Request: the 1.0 layout plus three
 // reserved octets between response_expected and the object key.
 func encodeRequest11(order cdr.ByteOrder, req Request) (Message, error) {
-	w := cdr.NewWriter(order)
+	w := cdr.NewWriterCap(order, requestSizeHint(req))
 	writeServiceContexts(w, req.ServiceContexts)
 	w.WriteULong(req.RequestID)
 	w.WriteBool(req.ResponseExpected)
@@ -111,7 +111,7 @@ func cloneRequestBytes(b []byte) []byte {
 }
 
 func encodeRequest12(order cdr.ByteOrder, req Request) (Message, error) {
-	w := cdr.NewWriter(order)
+	w := cdr.NewWriterCap(order, requestSizeHint(req))
 	w.WriteULong(req.RequestID)
 	flags := responseFlagsNone
 	if req.ResponseExpected {
@@ -184,7 +184,7 @@ func EncodeReplyV(order cdr.ByteOrder, minor byte, rep Reply) (Message, error) {
 }
 
 func encodeReply12(order cdr.ByteOrder, rep Reply) (Message, error) {
-	w := cdr.NewWriter(order)
+	w := cdr.NewWriterCap(order, replySizeHint(rep))
 	w.WriteULong(rep.RequestID)
 	w.WriteULong(uint32(rep.Status))
 	writeServiceContexts(w, rep.ServiceContexts)

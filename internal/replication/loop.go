@@ -50,23 +50,27 @@ func (m *Mechanisms) handleDelivery(d totem.Delivery) {
 	if err != nil {
 		return // not an infrastructure message; ignore
 	}
+	// The timestamp folds the packed-message sub-index into the sequence
+	// number so that every payload — even ones sharing a datagram — gets a
+	// unique, totally-ordered value for operation identifiers.
+	ts := d.Timestamp()
 	switch msg.Header.Kind {
 	case KindCreateGroup:
 		m.deliverCreateGroup(msg)
 	case KindJoinGroup:
-		m.deliverJoin(msg, d.Seq)
+		m.deliverJoin(msg, ts)
 	case KindLeaveGroup:
 		m.deliverLeave(msg)
 	case KindInvocation:
-		m.deliverInvocation(msg, d.Seq)
+		m.deliverInvocation(msg, ts)
 	case KindResponse:
-		m.deliverResponse(msg, d.Sender, d.Seq)
+		m.deliverResponse(msg, d.Sender, ts)
 	case KindStateTransfer:
 		m.deliverStateTransfer(msg)
 	case KindStateSync:
 		m.deliverStateSync(msg)
 	case KindGatewayControl:
-		m.deliverGatewayControl(msg, d.Seq)
+		m.deliverGatewayControl(msg, ts)
 	case KindDeleteGroup:
 		m.deliverDeleteGroup(msg)
 	}
@@ -268,6 +272,16 @@ func (m *Mechanisms) deliverInvocation(msg Message, ts uint64) {
 		return
 	}
 	m.mu.Lock()
+	// An invocation is also observed by its source group, if this node is
+	// a member: that is how gateways build the §3.5 gateway-group record
+	// from the invocation itself, without a separate record multicast —
+	// every gateway sees the invocation at the same point in the total
+	// order as the servants do.
+	if msg.Header.SrcGroup != msg.Header.DstGroup {
+		if sg, ok := m.groups[msg.Header.SrcGroup]; ok {
+			m.observe(sg, msg, ts)
+		}
+	}
 	g, ok := m.groups[msg.Header.DstGroup]
 	if !ok {
 		m.mu.Unlock()

@@ -69,9 +69,11 @@ type opKey struct {
 	op       OperationID
 }
 
-// Encode serializes a message for multicasting.
+// Encode serializes a message for multicasting. The buffer is sized up
+// front: the header's fixed fields plus alignment padding fit in 48
+// bytes ahead of the payload.
 func Encode(m Message) []byte {
-	w := cdr.NewWriter(cdr.BigEndian)
+	w := cdr.NewWriterCap(cdr.BigEndian, 48+len(m.Payload))
 	w.WriteOctet(byte(m.Header.Kind))
 	w.WriteULongLong(m.Header.ClientID)
 	w.WriteULong(uint32(m.Header.SrcGroup))

@@ -11,6 +11,7 @@ import (
 // decoders.
 func FuzzWireDecoders(f *testing.F) {
 	f.Add(encodeRegular(regularMsg{RingID: 1, Seq: 2, Sender: "n", Payload: []byte("p")}))
+	f.Add(encodeRegular(regularMsg{RingID: 1, Seq: 2, Sender: "n", Parts: [][]byte{[]byte("a"), []byte("b")}}))
 	f.Add(encodeToken(token{RingID: 1, TokenID: 2, Seq: 3, Succ: "n", Rtr: []rtrEntry{{Seq: 1}}}))
 	f.Add(encodeJoin(joinMsg{Sender: "n", Alive: []memnet.NodeID{"n"}, RingID: 1, Highest: 2, Aru: 1}))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -21,6 +22,8 @@ func FuzzWireDecoders(f *testing.F) {
 		switch r.ReadOctet() {
 		case kindRegular:
 			_, _ = decodeRegular(r)
+		case kindPacked:
+			_, _ = decodePacked(r)
 		case kindToken:
 			_, _ = decodeToken(r)
 		case kindJoin:

@@ -58,6 +58,8 @@ type Node struct {
 	skippedN       atomic.Uint64
 	tokenPassN     atomic.Uint64
 	reconfigN      atomic.Uint64
+	packedMsgN     atomic.Uint64
+	packedPartN    atomic.Uint64
 
 	// protocol state, owned by the run goroutine
 	ring         []memnet.NodeID
@@ -76,6 +78,10 @@ type Node struct {
 	heldToken  *token
 	holdUntil  time.Time
 	workInHold bool
+	// lastTrafficAt is when this node last saw application traffic (a
+	// new regular broadcast, local or remote). Within Config.ActiveWindow
+	// of it the token is forwarded without an idle hold.
+	lastTrafficAt time.Time
 
 	alive          map[memnet.NodeID]bool
 	joinHighest    map[memnet.NodeID]uint64
@@ -132,6 +138,8 @@ func (n *Node) registerMetrics(reg *obs.Registry) {
 		{"eternalgw_totem_skipped_total", "Sequence numbers declared unrecoverable and skipped.", n.skippedN.Load},
 		{"eternalgw_totem_token_passes_total", "Tokens this node forwarded.", n.tokenPassN.Load},
 		{"eternalgw_totem_reconfigs_total", "Ring installations this node participated in.", n.reconfigN.Load},
+		{"eternalgw_totem_packed_msgs_total", "Packed datagrams this node originated.", n.packedMsgN.Load},
+		{"eternalgw_totem_packed_parts_total", "Payloads carried inside packed datagrams.", n.packedPartN.Load},
 	} {
 		reg.CounterFunc(c.name, c.help, lbl, c.fn)
 	}
@@ -187,6 +195,8 @@ func (n *Node) Stats() Stats {
 		Skipped:       n.skippedN.Load(),
 		TokenPasses:   n.tokenPassN.Load(),
 		Reconfigs:     n.reconfigN.Load(),
+		PackedMsgs:    n.packedMsgN.Load(),
+		PackedParts:   n.packedPartN.Load(),
 	}
 }
 
@@ -225,6 +235,7 @@ func (n *Node) run() {
 		case payload := <-n.sendq:
 			n.pending = append(n.pending, payload)
 			n.drainSendq()
+			n.lastTrafficAt = time.Now()
 			if n.heldToken != nil {
 				// The token is parked here idle; broadcast immediately
 				// and pass it on.
@@ -312,6 +323,10 @@ func (n *Node) handlePacket(pkt memnet.Packet) {
 		if m, err := decodeRegular(r); err == nil {
 			n.handleRegular(m)
 		}
+	case kindPacked:
+		if m, err := decodePacked(r); err == nil {
+			n.handleRegular(m)
+		}
 	case kindToken:
 		if t, err := decodeToken(r); err == nil {
 			n.handleToken(t)
@@ -355,6 +370,7 @@ func (n *Node) handleRegular(m regularMsg) {
 	// stale retransmissions above do not, so a wedged ring (dead token
 	// holder, endlessly resent stale token) still trips the fail timer.
 	n.touchLiveness()
+	n.lastTrafficAt = time.Now()
 	n.buffer[m.Seq] = m
 	if m.Seq > n.highest {
 		n.highest = m.Seq
@@ -476,12 +492,42 @@ func (n *Node) processToken(t token) {
 			burst = remaining
 		}
 	}
-	for len(n.pending) > 0 && burst > 0 {
-		payload := n.pending[0]
-		n.pending = n.pending[1:]
+	drained := 0
+	for drained < len(n.pending) && burst > 0 {
 		burst--
 		t.Seq++
-		m := regularMsg{RingID: n.ringID, Seq: t.Seq, Sender: n.cfg.ID, Payload: payload}
+		var m regularMsg
+		if n.cfg.DisablePacking {
+			m = regularMsg{RingID: n.ringID, Seq: t.Seq, Sender: n.cfg.ID, Payload: n.pending[drained]}
+			drained++
+		} else {
+			// Pack as many queued payloads as fit into one message (one
+			// sequence number, one datagram, one window slot), as the
+			// original Totem fills each packet from the send queue. The
+			// first payload is always accepted so oversized payloads still
+			// travel (alone); later ones must keep the pack within the
+			// count and byte bounds.
+			first := drained
+			bytes := len(n.pending[drained])
+			drained++
+			for drained < len(n.pending) &&
+				drained-first < n.cfg.MaxPackCount &&
+				bytes+len(n.pending[drained]) <= n.cfg.MaxPackBytes {
+				bytes += len(n.pending[drained])
+				drained++
+			}
+			if drained-first == 1 {
+				// A single payload degrades to the plain form: identical
+				// wire bytes to the pre-packing protocol.
+				m = regularMsg{RingID: n.ringID, Seq: t.Seq, Sender: n.cfg.ID, Payload: n.pending[first]}
+			} else {
+				parts := make([][]byte, drained-first)
+				copy(parts, n.pending[first:drained])
+				m = regularMsg{RingID: n.ringID, Seq: t.Seq, Sender: n.cfg.ID, Parts: parts}
+				n.packedMsgN.Add(1)
+				n.packedPartN.Add(uint64(len(parts)))
+			}
+		}
 		n.buffer[t.Seq] = m
 		if t.Seq > n.highest {
 			n.highest = t.Seq
@@ -490,6 +536,15 @@ func (n *Node) processToken(t token) {
 		n.broadcastN.Add(1)
 		t.Spent++
 		work = true
+	}
+	if drained > 0 {
+		// Compact without retaining delivered heads in the backing array.
+		rest := len(n.pending) - drained
+		copy(n.pending, n.pending[drained:])
+		for i := rest; i < len(n.pending); i++ {
+			n.pending[i] = nil
+		}
+		n.pending = n.pending[:rest]
 	}
 	n.tryDeliver()
 
@@ -549,14 +604,24 @@ func (n *Node) processToken(t token) {
 	}
 
 	// Forward immediately if this visit did work or left work pending;
-	// otherwise hold briefly to stop an idle ring from spinning.
+	// otherwise hold before forwarding so an idle ring does not spin.
+	// Within ActiveWindow of the last traffic the hold is cut to a
+	// quarter: a request submitted at any member mid-conversation meets
+	// the token after short holds instead of full idle holds, while the
+	// shortened hold still paces rotation enough that token processing
+	// does not crowd out payload delivery (a zero hold here floods every
+	// member's event loop with token broadcasts and makes latency worse).
 	n.heldToken = &t
 	n.workInHold = work || len(t.Rtr) > 0 || t.Aru < t.Seq
 	if n.workInHold {
 		n.finishHold()
 		return
 	}
-	n.holdUntil = time.Now().Add(n.cfg.IdleHold)
+	hold := n.cfg.IdleHold
+	if time.Since(n.lastTrafficAt) < n.cfg.ActiveWindow {
+		hold /= 4
+	}
+	n.holdUntil = time.Now().Add(hold)
 }
 
 // finishHold forwards the held token to the ring successor.
@@ -606,6 +671,21 @@ func (n *Node) tryDeliver() {
 			return
 		}
 		n.deliveredSeq = next
+		if len(m.Parts) > 0 {
+			// Unpack: each payload becomes its own delivery, ordered within
+			// the message by its sub-index.
+			for i, p := range m.Parts {
+				n.deliveredN.Add(1)
+				n.emit(Event{Type: EventDeliver, Delivery: Delivery{
+					Seq:     m.Seq,
+					Sub:     uint32(i),
+					RingID:  m.RingID,
+					Sender:  m.Sender,
+					Payload: p,
+				}})
+			}
+			continue
+		}
 		n.deliveredN.Add(1)
 		n.emit(Event{Type: EventDeliver, Delivery: Delivery{
 			Seq:     m.Seq,

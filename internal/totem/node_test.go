@@ -114,8 +114,10 @@ func TestSingleNodeRingDelivers(t *testing.T) {
 		if d.Payload[0] != byte(i) {
 			t.Fatalf("delivery %d = %v", i, d.Payload)
 		}
-		if i > 0 && ds[i].Seq != ds[i-1].Seq+1 {
-			t.Fatalf("non-contiguous seqs %d -> %d", ds[i-1].Seq, ds[i].Seq)
+		// With packing several payloads may share one sequence number;
+		// (Seq, Sub) — folded into Timestamp — must strictly increase.
+		if i > 0 && ds[i].Timestamp() <= ds[i-1].Timestamp() {
+			t.Fatalf("non-increasing timestamps %d -> %d", ds[i-1].Timestamp(), ds[i].Timestamp())
 		}
 	}
 }
@@ -144,15 +146,20 @@ func TestThreeNodeTotalOrder(t *testing.T) {
 	for _, id := range c.ids[1:] {
 		got := seqs[id]
 		for i := range ref {
-			if got[i].Seq != ref[i].Seq || got[i].Sender != ref[i].Sender ||
+			if got[i].Seq != ref[i].Seq || got[i].Sub != ref[i].Sub || got[i].Sender != ref[i].Sender ||
 				string(got[i].Payload) != string(ref[i].Payload) {
 				t.Fatalf("%s delivery %d = %+v, n00 has %+v", id, i, got[i], ref[i])
 			}
 		}
 	}
-	// Sequence numbers are strictly increasing and contiguous.
+	// (Seq, Sub) strictly increases and the sequence numbers stay
+	// contiguous: a delivery either shares its predecessor's packed
+	// message or starts the next one.
 	for i := 1; i < len(ref); i++ {
-		if ref[i].Seq != ref[i-1].Seq+1 {
+		if ref[i].Timestamp() <= ref[i-1].Timestamp() {
+			t.Fatalf("non-increasing timestamps %d -> %d", ref[i-1].Timestamp(), ref[i].Timestamp())
+		}
+		if ref[i].Seq != ref[i-1].Seq && ref[i].Seq != ref[i-1].Seq+1 {
 			t.Fatalf("gap in seqs: %d -> %d", ref[i-1].Seq, ref[i].Seq)
 		}
 	}

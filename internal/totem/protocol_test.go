@@ -98,12 +98,15 @@ func TestAgreementPropertyUnderRandomLoss(t *testing.T) {
 				got := c.collect(id, total)
 				seen := make(map[uint64]bool, total)
 				for i, d := range got {
-					if seen[d.Seq] {
-						t.Fatalf("%s: duplicate seq %d", id, d.Seq)
+					// With packing several payloads share a sequence
+					// number; (Seq, Sub) folded into Timestamp must be
+					// unique and strictly increasing.
+					if seen[d.Timestamp()] {
+						t.Fatalf("%s: duplicate (seq, sub) %d/%d", id, d.Seq, d.Sub)
 					}
-					seen[d.Seq] = true
-					if i > 0 && got[i].Seq <= got[i-1].Seq {
-						t.Fatalf("%s: non-increasing seqs %d -> %d", id, got[i-1].Seq, got[i].Seq)
+					seen[d.Timestamp()] = true
+					if i > 0 && got[i].Timestamp() <= got[i-1].Timestamp() {
+						t.Fatalf("%s: non-increasing timestamps %d -> %d", id, got[i-1].Timestamp(), got[i].Timestamp())
 					}
 				}
 				if ref == nil {
@@ -111,7 +114,7 @@ func TestAgreementPropertyUnderRandomLoss(t *testing.T) {
 					continue
 				}
 				for i := range ref {
-					if got[i].Seq != ref[i].Seq || string(got[i].Payload) != string(ref[i].Payload) {
+					if got[i].Seq != ref[i].Seq || got[i].Sub != ref[i].Sub || string(got[i].Payload) != string(ref[i].Payload) {
 						t.Fatalf("%s: delivery %d differs: %+v vs %+v", id, i, got[i], ref[i])
 					}
 				}
@@ -186,6 +189,9 @@ func TestBurstLimitRespected(t *testing.T) {
 	cfg.Endpoint = ep
 	cfg.Members = []memnet.NodeID{"solo"}
 	cfg.MaxBurst = 8
+	// Packing would drain the whole backlog in a couple of datagrams;
+	// this test pins the per-message drain to exercise the burst limit.
+	cfg.DisablePacking = true
 	n, err := Start(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +242,10 @@ func TestFlowControlFairness(t *testing.T) {
 		cfg.Members = ids
 		cfg.WindowSize = 6 // fair share of 2 per member per rotation
 		cfg.MaxBurst = 64
+		// The window governs datagrams; with packing a single slot could
+		// carry a sender's whole backlog. Pin the per-message drain so
+		// the per-payload interleaving assertion below stays meaningful.
+		cfg.DisablePacking = true
 		n, err := Start(cfg)
 		if err != nil {
 			t.Fatal(err)

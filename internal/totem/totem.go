@@ -34,10 +34,15 @@ import (
 
 // Delivery is one totally-ordered message handed to the application.
 type Delivery struct {
-	// Seq is the message's global sequence number: unique, gapless and
-	// identical at every node. It serves as the paper's "message
-	// timestamp".
+	// Seq is the enclosing wire message's global sequence number:
+	// identical at every node and non-decreasing across deliveries. With
+	// packing enabled several payloads travel in one packed message and
+	// share its Seq; Sub orders them within it.
 	Seq uint64
+	// Sub is the payload's index within its packed wire message (0 for
+	// unpacked messages). (Seq, Sub) is unique and strictly increasing
+	// in lexicographic order, identically at every node.
+	Sub uint32
 	// RingID identifies the ring configuration the message was ordered
 	// in.
 	RingID uint64
@@ -45,6 +50,18 @@ type Delivery struct {
 	Sender memnet.NodeID
 	// Payload is the application payload.
 	Payload []byte
+}
+
+// subTimestampBits is how far Seq is shifted when folding Sub into a
+// single ordered timestamp; MaxPackCount is capped below 1<<subTimestampBits.
+const subTimestampBits = 16
+
+// Timestamp folds (Seq, Sub) into one uint64 that is unique, strictly
+// increasing in delivery order, and identical at every node: the
+// "timestamp derived from the totally-ordered message sequence numbers"
+// that the paper's operation identifiers are built from (section 3.3).
+func (d Delivery) Timestamp() uint64 {
+	return d.Seq<<subTimestampBits | uint64(d.Sub)
 }
 
 // ConfigChange reports a membership change: a new ring was installed.
@@ -88,6 +105,15 @@ type Config struct {
 	// the token, throttling rotation when there is no traffic. Zero
 	// means the default of 200 microseconds.
 	IdleHold time.Duration
+	// ActiveWindow is how long after the last observed application
+	// traffic the ring keeps rotating at full speed before idle holds
+	// resume. While traffic is flowing a request submitted anywhere on
+	// the ring meets the token after plain rotation hops instead of up
+	// to one IdleHold per quiet member, which is what bounds datapath
+	// latency under load; once the ring has been quiet for the window,
+	// holds resume and an idle ring stops spinning. Zero means eight
+	// times IdleHold.
+	ActiveWindow time.Duration
 	// TokenRetransmit is how long the previous holder waits for evidence
 	// of progress before resending the token. Zero means 25ms.
 	TokenRetransmit time.Duration
@@ -104,6 +130,21 @@ type Config struct {
 	// message unrecoverable and skips it. Zero means 4.
 	SkipAge int
 
+	// DisablePacking turns off message packing: every queued payload is
+	// broadcast as its own regular message, as the pre-packing protocol
+	// did. Exists for ablation and for transports whose datagrams cannot
+	// carry a packed message.
+	DisablePacking bool
+	// MaxPackCount bounds how many payloads one packed message carries.
+	// Zero means 32; values are capped so (Seq, Sub) still folds into a
+	// single 64-bit timestamp.
+	MaxPackCount int
+	// MaxPackBytes bounds the payload bytes of one packed message, so a
+	// pack fits one datagram on real transports (udpnet reassembles up
+	// to 64 KiB). Zero means 32 KiB. A payload larger than the bound is
+	// never packed; it travels alone as a plain regular message.
+	MaxPackBytes int
+
 	// Metrics, when set, exposes the node's protocol counters on the
 	// registry, labelled node=<ID>. The protocol goroutine keeps its
 	// bare atomic counters; the registry reads them only at scrape time.
@@ -117,6 +158,9 @@ func (c *Config) applyDefaults() {
 	if c.IdleHold == 0 {
 		c.IdleHold = 200 * time.Microsecond
 	}
+	if c.ActiveWindow == 0 {
+		c.ActiveWindow = 8 * c.IdleHold
+	}
 	if c.TokenRetransmit == 0 {
 		c.TokenRetransmit = 25 * time.Millisecond
 	}
@@ -129,14 +173,25 @@ func (c *Config) applyDefaults() {
 	if c.SkipAge == 0 {
 		c.SkipAge = 4
 	}
+	if c.MaxPackCount == 0 {
+		c.MaxPackCount = 32
+	}
+	if c.MaxPackCount >= 1<<subTimestampBits {
+		c.MaxPackCount = 1<<subTimestampBits - 1
+	}
+	if c.MaxPackBytes == 0 {
+		c.MaxPackBytes = 32 << 10
+	}
 }
 
 // Stats is a snapshot of a node's protocol counters.
 type Stats struct {
-	Broadcast     uint64 // regular messages this node originated
-	Delivered     uint64 // regular messages delivered to the application
+	Broadcast     uint64 // regular datagrams this node originated (a pack counts once)
+	Delivered     uint64 // application payloads delivered in total order
 	Retransmitted uint64 // retransmissions this node served
 	Skipped       uint64 // sequence numbers declared unrecoverable
 	TokenPasses   uint64 // tokens this node forwarded
 	Reconfigs     uint64 // ring installations
+	PackedMsgs    uint64 // packed datagrams this node originated
+	PackedParts   uint64 // payloads that travelled inside those packs
 }

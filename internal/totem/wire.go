@@ -12,16 +12,26 @@ const (
 	kindRegular byte = 1
 	kindToken   byte = 2
 	kindJoin    byte = 3
+	kindPacked  byte = 4
 )
 
 // regularMsg is a sequenced application broadcast (possibly a
 // retransmission, which is byte-identical except for the ring id being
 // restamped to the current configuration).
+//
+// When Parts is non-nil the message is a packed broadcast: several
+// application payloads sharing one sequence number and one datagram, as
+// in the original Totem, where the token holder fills each packet with
+// as many queued messages as fit. Packed messages occupy one buffer
+// slot, one window slot and one retransmission unit; they are unpacked
+// only at delivery, where each part becomes its own Delivery with a
+// sub-index. Payload is unused when Parts is set.
 type regularMsg struct {
 	RingID  uint64
 	Seq     uint64
 	Sender  memnet.NodeID
 	Payload []byte
+	Parts   [][]byte
 }
 
 // token is the circulating ring token. Tokens are broadcast rather than
@@ -66,7 +76,23 @@ type joinMsg struct {
 }
 
 func encodeRegular(m regularMsg) []byte {
-	w := cdr.NewWriter(cdr.BigEndian)
+	if len(m.Parts) > 0 {
+		size := 32 + len(m.Sender)
+		for _, p := range m.Parts {
+			size += 8 + len(p)
+		}
+		w := cdr.NewWriterCap(cdr.BigEndian, size)
+		w.WriteOctet(kindPacked)
+		w.WriteULongLong(m.RingID)
+		w.WriteULongLong(m.Seq)
+		w.WriteString(string(m.Sender))
+		w.WriteULong(uint32(len(m.Parts)))
+		for _, p := range m.Parts {
+			w.WriteOctetSeq(p)
+		}
+		return w.Bytes()
+	}
+	w := cdr.NewWriterCap(cdr.BigEndian, 40+len(m.Sender)+len(m.Payload))
 	w.WriteOctet(kindRegular)
 	w.WriteULongLong(m.RingID)
 	w.WriteULongLong(m.Seq)
@@ -86,6 +112,33 @@ func decodeRegular(r *cdr.Reader) (regularMsg, error) {
 	}
 	m.Payload = make([]byte, len(payload))
 	copy(m.Payload, payload)
+	return m, nil
+}
+
+// decodePacked parses the packed form: the regular header followed by a
+// counted list of payloads.
+func decodePacked(r *cdr.Reader) (regularMsg, error) {
+	var m regularMsg
+	m.RingID = r.ReadULongLong()
+	m.Seq = r.ReadULongLong()
+	m.Sender = memnet.NodeID(r.ReadString())
+	n := r.ReadULong()
+	// Each part costs at least its 4-byte length prefix, which bounds a
+	// hostile count before any allocation happens.
+	if r.Err() != nil || int(n) > r.Remaining()/4 {
+		return regularMsg{}, fmt.Errorf("totem: decode packed: bad part count %d", n)
+	}
+	m.Parts = make([][]byte, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		p := r.ReadOctetSeq()
+		m.Parts = append(m.Parts, append([]byte(nil), p...))
+	}
+	if err := r.Err(); err != nil {
+		return regularMsg{}, fmt.Errorf("totem: decode packed: %w", err)
+	}
+	if len(m.Parts) == 0 {
+		return regularMsg{}, fmt.Errorf("totem: decode packed: empty pack")
+	}
 	return m, nil
 }
 

@@ -1,0 +1,39 @@
+# Summarizes `go test -bench` output as JSON in the BENCH_baseline.json
+# schema: goos/goarch/cpu from the run header, then per-benchmark
+# ns_per_op sample lists and means, so a run is directly comparable to
+# the recorded BENCH_*.json trajectory files. Used by `make bench`.
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    # "BenchmarkName-8   1234   5678 ns/op ..." — strip the GOMAXPROCS
+    # suffix so repeated -count runs aggregate under one name.
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") {
+            if (!(name in samples)) order[++n] = name
+            samples[name] = samples[name] == "" ? $i : samples[name] ", " $i
+            sum[name] += $i
+            cnt[name]++
+            break
+        }
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"command\": \"make bench\",\n"
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"results\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\n", name
+        printf "      \"ns_per_op\": [%s],\n", samples[name]
+        printf "      \"mean_ns_per_op\": %d\n", sum[name] / cnt[name]
+        printf "    }%s\n", i < n ? "," : ""
+    }
+    printf "  }\n"
+    printf "}\n"
+}
