@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-baseline clean
+.PHONY: build test vet race check bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -27,13 +27,23 @@ check: vet race
 # BENCH_COUNT for more repetitions.
 BENCH_COUNT ?= 3
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkGatewayRoundTrip|BenchmarkGatewayMultiClient|BenchmarkGatewayPacking' -benchtime 2s -count $(BENCH_COUNT) . | tee /tmp/bench_run.txt
+	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkGatewayRoundTrip|BenchmarkGatewayMultiClient|BenchmarkGatewayPacking|BenchmarkGatewayReplicationDegree|BenchmarkGatewayMultiGroup' -benchtime 2s -count $(BENCH_COUNT) . | tee /tmp/bench_run.txt
 	@awk -f scripts/benchjson.awk /tmp/bench_run.txt
 
 # bench-baseline reproduces the original gateway round-trip numbers
 # recorded in BENCH_baseline.json (baseline vs instrumented datapath).
 bench-baseline:
 	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkE5GatewayLoopsInstrumented' -benchtime 2s -count $(BENCH_COUNT) .
+
+# bench-compare runs the throughput suite interleaved against a named
+# ref (HEAD's bench_throughput_test.go overlaid onto the ref's tree, so
+# both sides run identical benchmarks) and prints a before/after table.
+# This is the A/B methodology behind the BENCH_pr*.json files.
+#   make bench-compare BENCH_REF=v0-tag BENCH_COUNT=3
+BENCH_REF ?= HEAD~1
+BENCH_REGEX ?= BenchmarkGatewayRoundTrip|BenchmarkGatewayMultiClient|BenchmarkGatewayReplicationDegree|BenchmarkGatewayMultiGroup
+bench-compare:
+	scripts/benchcompare.sh '$(BENCH_REF)' '$(BENCH_REGEX)' $(BENCH_COUNT) 2s
 
 clean:
 	$(GO) clean ./...

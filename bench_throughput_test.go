@@ -1,10 +1,14 @@
 // Throughput benchmarks for the gateway datapath: single-client round
-// trips and multi-client concurrent load, with small and large payloads.
-// BENCH_pr2.json records these before and after the datapath overhaul
-// (totem message packing, single-multicast request path, sharded record,
-// wire-path allocation trims).
+// trips, multi-client concurrent load with small and large payloads, a
+// multi-group sweep, and a replication-degree sweep. BENCH_pr2.json
+// records the first two before and after the datapath (send-side)
+// overhaul; BENCH_pr3.json records the multi-client and degree sweeps
+// before and after the receive-path overhaul (header-first lazy decode,
+// sharded pending table, early duplicate-response discard).
 //
-// Run with: make bench
+// Run with: make bench. A/B against a ref with: make bench-compare
+// (which overlays this file onto the ref's tree, so every helper the
+// benchmarks need beyond bench_test.go must live here).
 package eternalgw_test
 
 import (
@@ -12,7 +16,9 @@ import (
 	"sync"
 	"testing"
 
+	"eternalgw/internal/domain"
 	"eternalgw/internal/experiments"
+	"eternalgw/internal/ftmgmt"
 	"eternalgw/internal/orb"
 	"eternalgw/internal/replication"
 )
@@ -84,10 +90,65 @@ func BenchmarkGatewayPacking(b *testing.B) {
 	}
 }
 
-func benchMultiClient(b *testing.B, clients, payload int, disablePacking bool) {
-	d := benchDomainPacking(b, 3, disablePacking)
-	benchDeploy(b, d, replication.Active, 2)
+// BenchmarkGatewayReplicationDegree sweeps the replication degree at the
+// c=4 multi-client shape, per payload size. Each request draws one
+// response per replica, so the receive path handles R responses for one
+// useful delivery: the R=2 and R=3 rows measure how cheaply the
+// redundant copies are discarded, against the R=1 row where every
+// response is useful. The small rows are bounded by token rotation; the
+// large rows are where per-copy decode cost is visible.
+func BenchmarkGatewayReplicationDegree(b *testing.B) {
+	for _, replicas := range []int{1, 2, 3} {
+		for _, size := range throughputSizes {
+			b.Run(fmt.Sprintf("r=%d/%s", replicas, size.name), func(b *testing.B) {
+				benchMultiClientDegree(b, 4, size.n, replicas, false)
+			})
+		}
+	}
+}
+
+// BenchmarkGatewayMultiGroup drives one gateway with clients spread
+// across several independent server groups. Cross-group traffic shares
+// the totem ring and the gateway edge but nothing else; this is the
+// shape where receive-path routing between groups shows up.
+func BenchmarkGatewayMultiGroup(b *testing.B) {
+	const groups = 4
+	d := benchDomain(b, 3)
+	keys := make([]string, groups)
+	for gi := 0; gi < groups; gi++ {
+		keys[gi] = fmt.Sprintf("bench/multi%d", gi)
+		benchDeployAt(b, d, replication.Active, 2, benchGroup+10+replication.GroupID(gi), keys[gi])
+	}
 	gw, err := d.AddGateway(2, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conns := make([]*orb.Conn, 2*groups)
+	for i := range conns {
+		c, err := orb.Dial(gw.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = c.Close() })
+		conns[i] = c
+	}
+	args := experiments.OctetSeqArg(make([]byte, 64))
+	b.SetBytes(64)
+	b.ResetTimer()
+	runClients(b, conns, func(i int) []byte { return []byte(keys[i%groups]) }, args)
+}
+
+func benchMultiClient(b *testing.B, clients, payload int, disablePacking bool) {
+	benchMultiClientDegree(b, clients, payload, 2, disablePacking)
+}
+
+// benchMultiClientDegree is the shared multi-client body: `replicas`
+// server replicas on the first nodes, the gateway on a dedicated last
+// node, `clients` connections each with one request in flight.
+func benchMultiClientDegree(b *testing.B, clients, payload, replicas int, disablePacking bool) {
+	d := benchDomainPacking(b, replicas+1, disablePacking)
+	benchDeploy(b, d, replication.Active, replicas)
+	gw, err := d.AddGateway(replicas, "")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -103,7 +164,14 @@ func benchMultiClient(b *testing.B, clients, payload int, disablePacking bool) {
 	args := experiments.OctetSeqArg(make([]byte, payload))
 	b.SetBytes(int64(payload))
 	b.ResetTimer()
+	runClients(b, conns, func(int) []byte { return []byte(benchKey) }, args)
+}
+
+// runClients splits b.N across the connections and drives them
+// concurrently; key selects the object key for the i-th connection.
+func runClients(b *testing.B, conns []*orb.Conn, key func(i int) []byte, args []byte) {
 	var wg sync.WaitGroup
+	clients := len(conns)
 	per := b.N / clients
 	extra := b.N % clients
 	var firstErr error
@@ -114,10 +182,10 @@ func benchMultiClient(b *testing.B, clients, payload int, disablePacking bool) {
 			n++
 		}
 		wg.Add(1)
-		go func(c *orb.Conn, n int) {
+		go func(c *orb.Conn, objKey []byte, n int) {
 			defer wg.Done()
 			for j := 0; j < n; j++ {
-				if _, err := c.Call([]byte(benchKey), "echo", args, orb.InvokeOptions{}); err != nil {
+				if _, err := c.Call(objKey, "echo", args, orb.InvokeOptions{}); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -126,10 +194,29 @@ func benchMultiClient(b *testing.B, clients, payload int, disablePacking bool) {
 					return
 				}
 			}
-		}(c, n)
+		}(c, key(i), n)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		b.Fatal(firstErr)
+	}
+}
+
+// benchDeployAt is benchDeploy for an arbitrary group and object key, so
+// the multi-group benchmark can stand up several independent server
+// groups in one domain.
+func benchDeployAt(b *testing.B, d *domain.Domain, style replication.Style, replicas int, group replication.GroupID, key string) {
+	b.Helper()
+	err := d.Manager().CreateReplicatedObject(group, ftmgmt.Properties{
+		Style:           style,
+		InitialReplicas: replicas,
+		MinReplicas:     replicas,
+		ObjectKey:       []byte(key),
+		TypeID:          benchType,
+	}, func() (replication.Application, error) {
+		return &experiments.RegisterApp{}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 }

@@ -91,6 +91,7 @@ func main() {
 		quorum   = flag.Bool("quorum", false, "enable majority-partition protection (a minority partition refuses to serve)")
 		obsAddr  = flag.String("obs-addr", "", "ops HTTP listen address for /metrics, /healthz, /readyz, /statusz (empty disables)")
 		trace    = flag.Bool("trace", false, "record per-invocation traces, shown on /statusz (requires -obs-addr)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/ on the ops server (requires -obs-addr)")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug|info|warn|error")
 	)
 	flag.Parse()
@@ -98,7 +99,7 @@ func main() {
 		nodes: *nodes, replicas: *replicas, gateways: *gateways,
 		styleStr: *styleStr, listen: *listen, monitor: *monitor,
 		udp: *udp, quorum: *quorum,
-		obsAddr: *obsAddr, trace: *trace, logLevel: *logLevel,
+		obsAddr: *obsAddr, trace: *trace, pprof: *pprofOn, logLevel: *logLevel,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ftdomaind:", err)
 		os.Exit(1)
@@ -113,6 +114,7 @@ type runOpts struct {
 	udp, quorum               bool
 	obsAddr                   string
 	trace                     bool
+	pprof                     bool
 	logLevel                  string
 }
 
@@ -151,12 +153,18 @@ func run(o runOpts) error {
 			cfg.Tracer = obs.NewTracer(256)
 			cfg.Tracer.Register(cfg.Metrics)
 		}
-		ops, err = obs.NewServer(o.obsAddr, cfg.Metrics, cfg.Tracer)
+		ops, err = obs.NewServerOpts(o.obsAddr, cfg.Metrics, cfg.Tracer, obs.ServerOptions{Pprof: o.pprof})
 		if err != nil {
 			return fmt.Errorf("ops server: %w", err)
 		}
 		defer func() { _ = ops.Close() }()
-		fmt.Printf("ops endpoints on http://%s/ (/metrics /healthz /readyz /statusz)\n", ops.Addr())
+		endpoints := "/metrics /healthz /readyz /statusz"
+		if o.pprof {
+			endpoints += " /debug/pprof/"
+		}
+		fmt.Printf("ops endpoints on http://%s/ (%s)\n", ops.Addr(), endpoints)
+	} else if o.pprof {
+		return fmt.Errorf("-pprof requires -obs-addr")
 	}
 	if o.quorum {
 		cfg.Replication = replication.Config{QuorumOf: nodes}

@@ -694,21 +694,32 @@ func (g *Gateway) observe(msg replication.Message, ts uint64) {
 		if g.cfg.DisableGroupRecord || msg.Header.ClientID == replication.UnusedClientID {
 			return
 		}
-		wire, err := giop.Unmarshal(msg.Payload)
-		if err != nil {
-			return
-		}
-		rep, err := giop.DecodeReply(wire)
-		if err != nil {
-			return
-		}
+		// The raw encapsulated reply is stored as-is (the record store
+		// copies it out of the delivery buffer); decoding happens only on
+		// the rare reissue path, keeping CDR work off the event loop.
 		key := cacheKey{group: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
-		g.records.storeReply(key, rep)
+		g.records.storeReply(key, msg.Payload)
 	}
 }
 
+// cachedReply returns the recorded response for a reissued invocation,
+// decoding the stored raw reply. A record that fails to decode (it was
+// malformed on the wire and would have been ignored by the old eager
+// path too) reads as a miss.
 func (g *Gateway) cachedReply(key cacheKey) (giop.Reply, bool) {
-	return g.records.reply(key)
+	raw, ok := g.records.reply(key)
+	if !ok {
+		return giop.Reply{}, false
+	}
+	wire, err := giop.Unmarshal(raw)
+	if err != nil {
+		return giop.Reply{}, false
+	}
+	rep, err := giop.DecodeReply(wire)
+	if err != nil {
+		return giop.Reply{}, false
+	}
+	return rep, true
 }
 
 // RecordedReplies reports how many responses the gateway currently holds
@@ -717,4 +728,3 @@ func (g *Gateway) RecordedReplies() int { return g.records.countReplies() }
 
 // RecordedRequests reports how many request records the gateway holds.
 func (g *Gateway) RecordedRequests() int { return g.records.countSeen() }
-

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"sync"
-
-	"eternalgw/internal/giop"
-)
+import "sync"
 
 // recordShards is how many locks the gateway-group record is split
 // across. Must be a power of two.
@@ -26,10 +22,14 @@ type recordStore struct {
 }
 
 type recordShard struct {
-	mu          sync.Mutex
-	seen        map[cacheKey]struct{}
-	seenRing    keyRing
-	replies     map[cacheKey]giop.Reply
+	mu       sync.Mutex
+	seen     map[cacheKey]struct{}
+	seenRing keyRing
+	// replies holds the raw encapsulated IIOP reply bytes as they
+	// appeared on the wire: the observer on the replication event loop
+	// stores them without decoding, and the rare reissue path decodes on
+	// a hit.
+	replies     map[cacheKey][]byte
 	repliesRing keyRing
 }
 
@@ -88,7 +88,7 @@ func newRecordStore(capacity int) *recordStore {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.seen = make(map[cacheKey]struct{})
-		sh.replies = make(map[cacheKey]giop.Reply)
+		sh.replies = make(map[cacheKey][]byte)
 		sh.seenRing.max = per
 		sh.repliesRing.max = per
 	}
@@ -118,28 +118,31 @@ func (s *recordStore) noteSeen(key cacheKey) bool {
 	return false
 }
 
-// storeReply caches a response under its operation key; the first
-// recorded response wins, matching the deduplication rule.
-func (s *recordStore) storeReply(key cacheKey, rep giop.Reply) {
+// storeReply caches a raw response under its operation key; the first
+// recorded response wins, matching the deduplication rule. The bytes are
+// copied: the caller's slice may alias a delivery buffer (and, with
+// packing, the arena shared by a whole datagram), which must not be
+// pinned for the record's lifetime.
+func (s *recordStore) storeReply(key cacheKey, raw []byte) {
 	sh := s.shard(key.clientID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.replies[key]; ok {
 		return
 	}
-	sh.replies[key] = rep
+	sh.replies[key] = append([]byte(nil), raw...)
 	if old, evicted := sh.repliesRing.push(key); evicted {
 		delete(sh.replies, old)
 	}
 }
 
-// reply returns the recorded response for an operation key, if any.
-func (s *recordStore) reply(key cacheKey) (giop.Reply, bool) {
+// reply returns the recorded raw response for an operation key, if any.
+func (s *recordStore) reply(key cacheKey) ([]byte, bool) {
 	sh := s.shard(key.clientID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	rep, ok := sh.replies[key]
-	return rep, ok
+	raw, ok := sh.replies[key]
+	return raw, ok
 }
 
 // dropClient deletes every record kept on a departed client's behalf.

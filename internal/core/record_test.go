@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"testing"
 
-	"eternalgw/internal/giop"
 	"eternalgw/internal/replication"
 )
+
+// rawRep builds a distinguishable stand-in for raw reply bytes.
+func rawRep(id uint32) []byte { return []byte{byte(id)} }
 
 func recKey(client uint64, parentTS uint64) cacheKey {
 	return cacheKey{
@@ -24,7 +26,7 @@ func TestRecordStoreEvictsOldestPastCapacity(t *testing.T) {
 	const client = 42
 	const n = 6
 	for i := uint64(0); i < n; i++ {
-		store.storeReply(recKey(client, i), giop.Reply{RequestID: uint32(i)})
+		store.storeReply(recKey(client, i), rawRep(uint32(i)))
 	}
 	if got := store.countReplies(); got != 2 {
 		t.Fatalf("countReplies = %d, want per-shard bound 2", got)
@@ -41,8 +43,8 @@ func TestRecordStoreEvictsOldestPastCapacity(t *testing.T) {
 		if !ok {
 			t.Fatalf("reply %d missing, want retained as newest", i)
 		}
-		if rep.RequestID != uint32(i) {
-			t.Fatalf("reply %d has RequestID %d", i, rep.RequestID)
+		if len(rep) != 1 || rep[0] != byte(i) {
+			t.Fatalf("reply %d has bytes %v", i, rep)
 		}
 	}
 }
@@ -72,14 +74,14 @@ func TestRecordStoreSeenEvictsOldest(t *testing.T) {
 func TestRecordStoreFirstReplyWins(t *testing.T) {
 	store := newRecordStore(64)
 	key := recKey(5, 100)
-	store.storeReply(key, giop.Reply{RequestID: 1})
-	store.storeReply(key, giop.Reply{RequestID: 2})
+	store.storeReply(key, rawRep(1))
+	store.storeReply(key, rawRep(2))
 	rep, ok := store.reply(key)
 	if !ok {
 		t.Fatal("reply missing")
 	}
-	if rep.RequestID != 1 {
-		t.Fatalf("RequestID = %d, want the first recorded reply to win", rep.RequestID)
+	if len(rep) != 1 || rep[0] != 1 {
+		t.Fatalf("reply bytes = %v, want the first recorded reply to win", rep)
 	}
 }
 
@@ -101,7 +103,7 @@ func TestRecordStoreDropClientRemovesOnlyThatClient(t *testing.T) {
 		for i := uint64(0); i < perClient; i++ {
 			k := recKey(c, i)
 			store.noteSeen(k)
-			store.storeReply(k, giop.Reply{RequestID: uint32(c)})
+			store.storeReply(k, rawRep(uint32(c)))
 		}
 	}
 	store.dropClient(departed)

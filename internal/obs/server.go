@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ type StatusFunc func() string
 type Server struct {
 	reg    *Registry
 	tracer *Tracer
+	opts   ServerOptions
 	start  time.Time
 
 	ln   net.Listener
@@ -39,15 +41,30 @@ type statusSection struct {
 	fn   StatusFunc
 }
 
+// ServerOptions are optional ops-server features.
+type ServerOptions struct {
+	// Pprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/, so CPU and heap profiles of the datapath can be
+	// captured in place. Off by default: the profile endpoints expose
+	// process internals and cost CPU while sampling, so enabling them is
+	// an explicit operator decision.
+	Pprof bool
+}
+
 // NewServer starts the ops server on addr ("host:port"; port 0 for
 // ephemeral). Either reg or tracer may be nil; the endpoints then render
 // what exists.
 func NewServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	return NewServerOpts(addr, reg, tracer, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with optional features.
+func NewServerOpts(addr string, reg *Registry, tracer *Tracer, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, tracer: tracer, start: time.Now(), ln: ln}
+	s := &Server{reg: reg, tracer: tracer, opts: opts, start: time.Now(), ln: ln}
 	s.srv = &http.Server{Handler: s.Handler()}
 	s.wg.Add(1)
 	go func() {
@@ -60,7 +77,12 @@ func NewServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 // NewHandler builds the ops endpoints without a listener, for embedding
 // in an existing mux or an httptest server.
 func NewHandler(reg *Registry, tracer *Tracer) *Server {
-	return &Server{reg: reg, tracer: tracer, start: time.Now()}
+	return NewHandlerOpts(reg, tracer, ServerOptions{})
+}
+
+// NewHandlerOpts is NewHandler with optional features.
+func NewHandlerOpts(reg *Registry, tracer *Tracer, opts ServerOptions) *Server {
+	return &Server{reg: reg, tracer: tracer, opts: opts, start: time.Now()}
 }
 
 // Handler returns the ops mux (usable directly with httptest).
@@ -70,6 +92,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	if s.opts.Pprof {
+		// Explicit registrations on this mux; the package-level handlers
+		// net/http/pprof installs on http.DefaultServeMux are not served.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -75,3 +75,20 @@ func TestServerListensAndCloses(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPprofEndpointsGated(t *testing.T) {
+	// Default posture: the profiling handlers are not mounted.
+	off := httptest.NewServer(NewHandler(nil, nil).Handler())
+	defer off.Close()
+	if code, _ := get(t, off.URL+"/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Fatalf("pprof off: /debug/pprof/cmdline = %d, want 404", code)
+	}
+
+	on := httptest.NewServer(NewHandlerOpts(nil, nil, ServerOptions{Pprof: true}).Handler())
+	defer on.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		if code, _ := get(t, on.URL+path); code != http.StatusOK {
+			t.Fatalf("pprof on: %s = %d, want 200", path, code)
+		}
+	}
+}

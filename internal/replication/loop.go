@@ -46,7 +46,14 @@ func (m *Mechanisms) shutdownReplicas() {
 }
 
 func (m *Mechanisms) handleDelivery(d totem.Delivery) {
-	msg, err := Decode(d.Payload)
+	// Header-first: the loop peeks at the fixed header and routes on
+	// {Kind, SrcGroup, DstGroup, ClientID, Op} alone. The payload stays
+	// encoded, aliasing the delivery buffer; the datapath kinds defer its
+	// decode to whoever needs it (the replica executor for requests, the
+	// first pending waiter for replies) and duplicate responses are
+	// discarded without ever touching CDR. Control kinds decode their
+	// small payloads here as before.
+	hv, err := DecodeHeader(d.Payload)
 	if err != nil {
 		return // not an infrastructure message; ignore
 	}
@@ -54,25 +61,25 @@ func (m *Mechanisms) handleDelivery(d totem.Delivery) {
 	// number so that every payload — even ones sharing a datagram — gets a
 	// unique, totally-ordered value for operation identifiers.
 	ts := d.Timestamp()
-	switch msg.Header.Kind {
+	switch hv.Header.Kind {
 	case KindCreateGroup:
-		m.deliverCreateGroup(msg)
+		m.deliverCreateGroup(hv.Message())
 	case KindJoinGroup:
-		m.deliverJoin(msg, ts)
+		m.deliverJoin(hv.Message(), ts)
 	case KindLeaveGroup:
-		m.deliverLeave(msg)
+		m.deliverLeave(hv.Message())
 	case KindInvocation:
-		m.deliverInvocation(msg, ts)
+		m.deliverInvocation(hv, d.Payload, ts)
 	case KindResponse:
-		m.deliverResponse(msg, d.Sender, ts)
+		m.deliverResponse(hv, d.Sender, ts)
 	case KindStateTransfer:
-		m.deliverStateTransfer(msg)
+		m.deliverStateTransfer(hv.Message())
 	case KindStateSync:
-		m.deliverStateSync(msg)
+		m.deliverStateSync(hv.Message())
 	case KindGatewayControl:
-		m.deliverGatewayControl(msg, ts)
+		m.deliverGatewayControl(hv.Message(), ts)
 	case KindDeleteGroup:
-		m.deliverDeleteGroup(msg)
+		m.deliverDeleteGroup(hv.Message())
 	}
 }
 
@@ -99,8 +106,8 @@ func (m *Mechanisms) deliverDeleteGroup(msg Message) {
 // deliverGatewayControl routes gateway housekeeping to the destination
 // group's observer; the infrastructure itself attaches no meaning to it.
 func (m *Mechanisms) deliverGatewayControl(msg Message, ts uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	g, ok := m.groups[msg.Header.DstGroup]
 	if !ok {
 		return
@@ -264,14 +271,15 @@ func (m *Mechanisms) retriggerTransfers(g *groupState) {
 	}
 }
 
-func (m *Mechanisms) deliverInvocation(msg Message, ts uint64) {
+func (m *Mechanisms) deliverInvocation(hv HeaderView, raw []byte, ts uint64) {
 	if !m.HasQuorum() {
 		// Minority partition: refuse to advance replica state so the
 		// majority's history stays the only history (reconciliation by
 		// state transfer on merge).
 		return
 	}
-	m.mu.Lock()
+	msg := hv.Message()
+	m.mu.RLock()
 	// An invocation is also observed by its source group, if this node is
 	// a member: that is how gateways build the §3.5 gateway-group record
 	// from the invocation itself, without a separate record multicast —
@@ -284,12 +292,12 @@ func (m *Mechanisms) deliverInvocation(msg Message, ts uint64) {
 	}
 	g, ok := m.groups[msg.Header.DstGroup]
 	if !ok {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return
 	}
 	m.observe(g, msg, ts)
 	if g.local == nil || g.local.app == nil {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return
 	}
 	// The deliver span fires only on nodes hosting a servant for the
@@ -306,51 +314,94 @@ func (m *Mechanisms) deliverInvocation(msg Message, ts uint64) {
 		execute = r.primary
 		logOnly = !r.primary
 	}
-	m.mu.Unlock()
-	r.push(task{kind: taskInvoke, msg: msg, ts: ts, execute: execute, logInv: logOnly})
+	m.mu.RUnlock()
+	// The still-encoded GIOP request rides to the per-group executor,
+	// which decodes it off the event loop; backups that only log the
+	// invocation copy the raw wire form instead of re-encoding it.
+	r.push(task{kind: taskInvoke, msg: msg, raw: raw, ts: ts, execute: execute, logInv: logOnly})
 }
 
 // deliverResponse routes a response to local pending invocations,
 // suppressing duplicates by response identifier (paper section 3.3): the
 // first copy is delivered, all subsequently received copies of the same
-// operation identifier are discarded.
-func (m *Mechanisms) deliverResponse(msg Message, sender memnet.NodeID, ts uint64) {
-	key := opKey{src: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
+// operation identifier are discarded. The discard happens from the
+// header peek alone — once an operation is in the shard's done-set, the
+// 2nd..Rth replica copies never reach the group directory or CDR.
+func (m *Mechanisms) deliverResponse(hv HeaderView, sender memnet.NodeID, ts uint64) {
+	h := hv.Header
+	key := opKey{src: h.SrcGroup, clientID: h.ClientID, op: h.Op}
+	sh := m.pending.shard(key)
 
-	m.mu.Lock()
-	// Only group members are addressees.
-	g, ok := m.groups[msg.Header.DstGroup]
-	if !ok || g.local == nil {
-		m.mu.Unlock()
-		return
-	}
-	m.observe(g, msg, ts)
-	calls := m.pending[key]
+	sh.mu.Lock()
+	calls := sh.calls[key]
 	if len(calls) == 0 {
-		if _, done := m.recentDone[key]; done {
+		_, done := sh.done[key]
+		sh.mu.Unlock()
+		if done {
+			// Early discard: a copy of this response was already answered
+			// or recorded at this node.
 			m.duplicateResponses.Add(1)
-			m.tracer.Event(traceKey(msg.Header), obs.StageDupSuppressed, string(m.cfg.NodeID)+"/response")
+			m.responsesDiscardedEarly.Add(1)
+			m.tracer.Event(traceKey(h), obs.StageDupSuppressed, string(m.cfg.NodeID)+"/response")
+			return
 		}
-		m.mu.Unlock()
+		// First copy with nobody waiting (another gateway's traffic, or a
+		// caller that timed out): members of the destination group still
+		// observe it — that is how every gateway of the group records
+		// responses flowing through its peers (§3.5) — and remember it so
+		// the remaining replica copies are discarded early.
+		if m.observeResponse(hv, ts) {
+			sh.mu.Lock()
+			sh.markDone(key)
+			sh.mu.Unlock()
+		}
 		return
 	}
+	voting := false
+	for _, c := range calls {
+		if c.votesNeeded > 0 {
+			voting = true
+			break
+		}
+	}
+	if !voting {
+		// First-response delivery: this copy resolves every waiter. The
+		// payload travels raw; each waiter decodes it off the event loop.
+		for _, c := range calls {
+			c.ch <- pendingResult{raw: hv.Payload}
+		}
+		delete(sh.calls, key)
+		sh.markDone(key)
+		sh.mu.Unlock()
+		m.responsesDelivered.Add(1)
+		m.observeResponse(hv, ts)
+		return
+	}
+	sh.mu.Unlock()
+	m.deliverVotingResponse(hv, sh, key, sender, ts)
+}
 
-	wire, err := giop.Unmarshal(msg.Payload)
+// deliverVotingResponse handles responses awaited by active-with-voting
+// callers. Voting compares result bytes across replica copies, so —
+// unlike the first-response path — every copy is decoded, on the event
+// loop, until a majority agrees.
+func (m *Mechanisms) deliverVotingResponse(hv HeaderView, sh *pendingShard, key opKey, sender memnet.NodeID, ts uint64) {
+	wire, err := giop.Unmarshal(hv.Payload)
 	if err != nil {
-		m.mu.Unlock()
 		return
 	}
 	rep, err := giop.DecodeReply(wire)
 	if err != nil {
-		m.mu.Unlock()
 		return
 	}
 
+	sh.mu.Lock()
+	calls := sh.calls[key]
 	remaining := calls[:0]
 	delivered := false
 	for _, c := range calls {
 		if c.votesNeeded == 0 {
-			c.ch <- rep
+			c.ch <- pendingResult{rep: rep}
 			delivered = true
 			continue // resolved; drop from pending
 		}
@@ -362,48 +413,51 @@ func (m *Mechanisms) deliverResponse(msg Message, sender memnet.NodeID, ts uint6
 		c.responded[sender] = true
 		c.votes[string(rep.Result)]++
 		if c.votes[string(rep.Result)] >= c.votesNeeded {
-			c.ch <- rep
+			c.ch <- pendingResult{rep: rep}
 			delivered = true
 			continue
 		}
 		if len(c.responded) >= c.expected {
 			// All replicas answered without a majority: surface the
 			// disagreement instead of hanging the caller.
-			c.ch <- giop.Reply{
+			c.ch <- pendingResult{rep: giop.Reply{
 				RequestID: rep.RequestID,
 				Status:    giop.ReplySystemException,
 				Result:    giop.SystemExceptionBody(giopOrder, "IDL:eternalgw/NO_AGREEMENT:1.0", 0, 0),
-			}
+			}}
 			delivered = true
 			continue
 		}
 		remaining = append(remaining, c)
 	}
 	if len(remaining) == 0 {
-		delete(m.pending, key)
+		delete(sh.calls, key)
 	} else {
-		m.pending[key] = remaining
+		sh.calls[key] = remaining
 	}
 	if delivered {
-		m.responsesDelivered.Add(1)
-		m.markDone(key)
+		sh.markDone(key)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
+	if delivered {
+		m.responsesDelivered.Add(1)
+	}
+	m.observeResponse(hv, ts)
 }
 
-// markDone remembers an answered operation so late duplicate responses
-// are counted. Callers hold mu.
-func (m *Mechanisms) markDone(key opKey) {
-	if _, ok := m.recentDone[key]; ok {
-		return
+// observeResponse dispatches a response to the destination group's
+// observer if this node is a member, and reports the membership. The
+// §3.5 gateway record consumes this; it copies what it retains, since
+// the payload aliases the delivery buffer.
+func (m *Mechanisms) observeResponse(hv HeaderView, ts uint64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	g, ok := m.groups[hv.Header.DstGroup]
+	if !ok || g.local == nil {
+		return false
 	}
-	m.recentDone[key] = struct{}{}
-	m.recentDoneFIFO = append(m.recentDoneFIFO, key)
-	if len(m.recentDoneFIFO) > m.cfg.DedupCapacity {
-		old := m.recentDoneFIFO[0]
-		m.recentDoneFIFO = m.recentDoneFIFO[1:]
-		delete(m.recentDone, old)
-	}
+	m.observe(g, hv.Message(), ts)
+	return true
 }
 
 func (m *Mechanisms) deliverStateTransfer(msg Message) {
@@ -433,13 +487,13 @@ func (m *Mechanisms) deliverStateSync(msg Message) {
 	if err != nil {
 		return
 	}
-	m.mu.Lock()
+	m.mu.RLock()
 	g, ok := m.groups[msg.Header.DstGroup]
 	var r *replica
 	if ok && g.local != nil && g.local.app != nil && !g.local.primary {
 		r = g.local
 	}
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	if r != nil {
 		r.push(task{kind: taskApplySync, state: p})
 	}

@@ -61,15 +61,28 @@ func (g *groupState) removeMember(id memnet.NodeID) {
 	g.members = kept
 }
 
-// pendingCall is one invocation awaiting its response(s).
+// pendingCall is one invocation awaiting its response(s). The fields
+// below ch are mutated only by the event loop, under the call's pending
+// shard lock.
 type pendingCall struct {
-	ch chan giop.Reply
+	ch chan pendingResult
 	// votesNeeded is zero for first-response delivery; otherwise the
 	// number of identical results required (active-with-voting).
 	votesNeeded int
 	votes       map[string]int
 	responded   map[memnet.NodeID]bool
 	expected    int // group size at invocation time (voting)
+}
+
+// pendingResult is what the event loop hands a pending waiter: either
+// the raw encapsulated IIOP reply (the common first-response path, where
+// the waiter decodes it off the event loop) or an already-decoded reply
+// (the voting path, which must decode on the loop to compare result
+// bytes across replicas). raw aliases the delivery buffer; the waiter
+// decodes it immediately and DecodeReply copies the result bytes out.
+type pendingResult struct {
+	rep giop.Reply
+	raw []byte
 }
 
 // Mechanisms is the per-node replication engine. Create with New, stop
@@ -83,19 +96,23 @@ type Mechanisms struct {
 	stop chan struct{}
 	done chan struct{}
 
-	mu     sync.Mutex
+	// mu guards the group directory. Only the event loop takes the write
+	// lock (directory mutations are delivered in total order); the
+	// invocation datapath takes read locks, so concurrent Invokes and
+	// response deliveries do not serialize behind membership changes.
+	mu     sync.RWMutex
 	groups map[GroupID]*groupState
 	byKey  map[string]GroupID
 	// prearmed holds applications registered by JoinGroup, installed
 	// when the join announcement is delivered in total order.
 	prearmed  map[GroupID]Application
-	pending   map[opKey][]*pendingCall
 	observers map[GroupID]Observer
-	// recentDone remembers recently answered operations so late
-	// duplicate responses are counted as suppressed.
-	recentDone     map[opKey]struct{}
-	recentDoneFIFO []opKey
-	changed        chan struct{} // closed and replaced on directory change
+	changed   chan struct{} // closed and replaced on directory change
+
+	// pending is the sharded pending-call table plus the early-discard
+	// done-set, outside mu entirely: response delivery and Invoke
+	// registration meet only on a shard lock.
+	pending *pendingTable
 
 	stopOnce sync.Once
 
@@ -106,11 +123,14 @@ type Mechanisms struct {
 	responsesSent        atomic.Uint64
 	responsesDelivered   atomic.Uint64
 	duplicateResponses   atomic.Uint64
-	stateTransfers       atomic.Uint64
-	stateSyncs           atomic.Uint64
-	checkpoints          atomic.Uint64
-	failovers            atomic.Uint64
-	replayedInvocations  atomic.Uint64
+	// responsesDiscardedEarly counts the subset of duplicate responses
+	// dropped from the header peek alone, without payload decode.
+	responsesDiscardedEarly atomic.Uint64
+	stateTransfers          atomic.Uint64
+	stateSyncs              atomic.Uint64
+	checkpoints             atomic.Uint64
+	failovers               atomic.Uint64
+	replayedInvocations     atomic.Uint64
 }
 
 // New creates the replication mechanisms over a running totem node and
@@ -121,19 +141,18 @@ func New(cfg Config) (*Mechanisms, error) {
 	}
 	cfg.applyDefaults()
 	m := &Mechanisms{
-		cfg:        cfg,
-		node:       cfg.Node,
-		tracer:     cfg.Tracer,
-		log:        logrec.NewLog(),
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
-		groups:     make(map[GroupID]*groupState),
-		byKey:      make(map[string]GroupID),
-		prearmed:   make(map[GroupID]Application),
-		pending:    make(map[opKey][]*pendingCall),
-		observers:  make(map[GroupID]Observer),
-		recentDone: make(map[opKey]struct{}),
-		changed:    make(chan struct{}),
+		cfg:       cfg,
+		node:      cfg.Node,
+		tracer:    cfg.Tracer,
+		log:       logrec.NewLog(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		groups:    make(map[GroupID]*groupState),
+		byKey:     make(map[string]GroupID),
+		prearmed:  make(map[GroupID]Application),
+		observers: make(map[GroupID]Observer),
+		pending:   newPendingTable(cfg.DedupCapacity),
+		changed:   make(chan struct{}),
 	}
 	m.registerMetrics(cfg.Metrics)
 	go m.run()
@@ -159,6 +178,7 @@ func (m *Mechanisms) registerMetrics(reg *obs.Registry) {
 		{"eternalgw_replication_responses_sent_total", "Responses multicast by local replicas.", m.responsesSent.Load},
 		{"eternalgw_replication_responses_delivered_total", "Responses delivered to local pending invocations.", m.responsesDelivered.Load},
 		{"eternalgw_replication_duplicate_responses_total", "Duplicate responses detected and suppressed.", m.duplicateResponses.Load},
+		{"eternalgw_replication_responses_discarded_early_total", "Duplicate responses discarded from the header peek, without payload decode.", m.responsesDiscardedEarly.Load},
 		{"eternalgw_replication_state_transfers_total", "State transfers donated.", m.stateTransfers.Load},
 		{"eternalgw_replication_state_syncs_total", "Warm-passive state synchronizations published.", m.stateSyncs.Load},
 		{"eternalgw_replication_checkpoints_total", "Cold-passive checkpoints written.", m.checkpoints.Load},
@@ -181,8 +201,8 @@ func (m *Mechanisms) registerMetrics(reg *obs.Registry) {
 // cache currently holds (the /statusz dedup section and capacity-tuning
 // diagnostics read this).
 func (m *Mechanisms) DedupOccupancy() map[GroupID]int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make(map[GroupID]int)
 	for id, g := range m.groups {
 		if g.local != nil && g.local.app != nil {
@@ -208,18 +228,19 @@ func (m *Mechanisms) Stop() {
 // Stats snapshots the counters.
 func (m *Mechanisms) Stats() Stats {
 	return Stats{
-		InvocationsSent:      m.invocationsSent.Load(),
-		InvocationsExecuted:  m.invocationsExecuted.Load(),
-		DuplicateInvocations: m.duplicateInvocations.Load(),
-		DedupMisses:          m.dedupMisses.Load(),
-		ResponsesSent:        m.responsesSent.Load(),
-		ResponsesDelivered:   m.responsesDelivered.Load(),
-		DuplicateResponses:   m.duplicateResponses.Load(),
-		StateTransfers:       m.stateTransfers.Load(),
-		StateSyncs:           m.stateSyncs.Load(),
-		Checkpoints:          m.checkpoints.Load(),
-		Failovers:            m.failovers.Load(),
-		ReplayedInvocations:  m.replayedInvocations.Load(),
+		InvocationsSent:         m.invocationsSent.Load(),
+		InvocationsExecuted:     m.invocationsExecuted.Load(),
+		DuplicateInvocations:    m.duplicateInvocations.Load(),
+		DedupMisses:             m.dedupMisses.Load(),
+		ResponsesSent:           m.responsesSent.Load(),
+		ResponsesDelivered:      m.responsesDelivered.Load(),
+		DuplicateResponses:      m.duplicateResponses.Load(),
+		ResponsesDiscardedEarly: m.responsesDiscardedEarly.Load(),
+		StateTransfers:          m.stateTransfers.Load(),
+		StateSyncs:              m.stateSyncs.Load(),
+		Checkpoints:             m.checkpoints.Load(),
+		Failovers:               m.failovers.Load(),
+		ReplayedInvocations:     m.replayedInvocations.Load(),
 	}
 }
 
@@ -278,16 +299,16 @@ func (m *Mechanisms) LeaveGroup(id GroupID) error {
 // the lookup the gateway performs on the object key embedded in each
 // incoming IIOP request (paper section 3.1).
 func (m *Mechanisms) GroupByKey(objectKey []byte) (GroupID, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	id, ok := m.byKey[string(objectKey)]
 	return id, ok
 }
 
 // GroupStyle returns the replication style of a group.
 func (m *Mechanisms) GroupStyle(id GroupID) (Style, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	g, ok := m.groups[id]
 	if !ok {
 		return 0, false
@@ -298,8 +319,8 @@ func (m *Mechanisms) GroupStyle(id GroupID) (Style, bool) {
 // Members returns a group's hosting nodes in join order (index 0 is the
 // primary of passive groups).
 func (m *Mechanisms) Members(id GroupID) []memnet.NodeID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	g, ok := m.groups[id]
 	if !ok {
 		return nil
@@ -313,10 +334,10 @@ func (m *Mechanisms) Members(id GroupID) []memnet.NodeID {
 func (m *Mechanisms) waitCondition(timeout time.Duration, cond func() bool) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		m.mu.Lock()
+		m.mu.RLock()
 		ok := cond()
 		ch := m.changed
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		if ok {
 			return nil
 		}
@@ -384,23 +405,23 @@ func (m *Mechanisms) Invoke(src GroupID, clientID uint64, dst GroupID, op Operat
 	}
 	key := opKey{src: dst, clientID: clientID, op: op}
 
-	m.mu.Lock()
+	m.mu.RLock()
 	g, ok := m.groups[dst]
 	if !ok {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return giop.Reply{}, fmt.Errorf("group %d: %w", dst, ErrNoSuchGroup)
 	}
-	call := &pendingCall{ch: make(chan giop.Reply, 1)}
-	if g.style == ActiveWithVoting {
-		call.expected = len(g.members)
-		call.votesNeeded = len(g.members)/2 + 1
+	style, groupSize := g.style, len(g.members)
+	m.mu.RUnlock()
+	call := &pendingCall{ch: make(chan pendingResult, 1)}
+	if style == ActiveWithVoting {
+		call.expected = groupSize
+		call.votesNeeded = groupSize/2 + 1
 		call.votes = make(map[string]int)
 		call.responded = make(map[memnet.NodeID]bool)
 	}
-	m.pending[key] = append(m.pending[key], call)
-	m.mu.Unlock()
-
-	defer m.unregisterPending(key, call)
+	m.pending.register(key, call)
+	defer m.pending.unregister(key, call)
 
 	// Encode the conveyed IIOP request in the byte order its arguments
 	// were marshalled in (the external client's order, when a gateway
@@ -430,29 +451,27 @@ func (m *Mechanisms) Invoke(src GroupID, clientID uint64, dst GroupID, op Operat
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case rep := <-call.ch:
+	case res := <-call.ch:
+		if res.raw == nil {
+			return res.rep, nil
+		}
+		// The common path: the event loop handed over the raw
+		// encapsulated reply and this waiter — off the event loop —
+		// decodes it. DecodeReply copies the result bytes out of the
+		// delivery buffer.
+		wire, derr := giop.Unmarshal(res.raw)
+		if derr != nil {
+			return giop.Reply{}, fmt.Errorf("replication: decode response: %w", derr)
+		}
+		rep, derr := giop.DecodeReply(wire)
+		if derr != nil {
+			return giop.Reply{}, fmt.Errorf("replication: decode response: %w", derr)
+		}
 		return rep, nil
 	case <-timer.C:
 		return giop.Reply{}, fmt.Errorf("%w: op %v on group %d", ErrTimeout, op, dst)
 	case <-m.stop:
 		return giop.Reply{}, ErrStopped
-	}
-}
-
-func (m *Mechanisms) unregisterPending(key opKey, call *pendingCall) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	calls := m.pending[key]
-	kept := calls[:0]
-	for _, c := range calls {
-		if c != call {
-			kept = append(kept, c)
-		}
-	}
-	if len(kept) == 0 {
-		delete(m.pending, key)
-	} else {
-		m.pending[key] = kept
 	}
 }
 
@@ -497,7 +516,8 @@ func (m *Mechanisms) SetObserver(group GroupID, fn Observer) {
 }
 
 // observe dispatches a delivered message to the group's observer, if the
-// node is a member. Callers hold mu.
+// node is a member. Callers hold mu (read or write). The message payload
+// may alias the delivery buffer; observers copy what they retain.
 func (m *Mechanisms) observe(g *groupState, msg Message, ts uint64) {
 	if g.local == nil {
 		return

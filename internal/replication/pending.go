@@ -1,0 +1,116 @@
+package replication
+
+import "sync"
+
+// pendingShards is how many locks the pending-call table and the
+// early-discard done-set are split across. Must be a power of two.
+const pendingShards = 16
+
+// opKeyRing is a fixed-capacity FIFO of operation keys: pushing into a
+// full ring overwrites the oldest slot and returns the displaced key so
+// the caller can drop its map entry. Same O(1) eviction shape as the
+// gateway record's keyRing (internal/core/record.go); the former designs
+// shifted a slice (s = s[1:]) per eviction, retaining the backing array.
+type opKeyRing struct {
+	buf  []opKey
+	head int // index of the oldest entry once the ring is full
+	max  int
+}
+
+func (r *opKeyRing) push(k opKey) (old opKey, evicted bool) {
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, k)
+		return opKey{}, false
+	}
+	old = r.buf[r.head]
+	r.buf[r.head] = k
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	return old, true
+}
+
+// pendingShard is one lock's worth of the pending-call table: the calls
+// awaiting responses plus the done-set remembering operations whose
+// first response copy has already been answered (or recorded) here.
+type pendingShard struct {
+	mu    sync.Mutex
+	calls map[opKey][]*pendingCall
+	// done is consulted from the header peek: once an operation is in
+	// it, the 2nd..Rth replica copies of its response are discarded
+	// without payload decode. Bounded FIFO through doneRing.
+	done     map[opKey]struct{}
+	doneRing opKeyRing
+}
+
+// markDone remembers an answered operation. Callers hold sh.mu.
+func (sh *pendingShard) markDone(key opKey) {
+	if _, ok := sh.done[key]; ok {
+		return
+	}
+	sh.done[key] = struct{}{}
+	if old, evicted := sh.doneRing.push(key); evicted {
+		delete(sh.done, old)
+	}
+}
+
+// pendingTable is the sharded pending-call table: concurrent Invokes
+// from many gateway connections register and resolve under per-shard
+// locks instead of serializing behind the group-directory mutex.
+type pendingTable struct {
+	shards [pendingShards]pendingShard
+}
+
+// newPendingTable builds a table whose done-set is bounded at roughly
+// capacity operations, split evenly across the shards.
+func newPendingTable(capacity int) *pendingTable {
+	per := (capacity + pendingShards - 1) / pendingShards
+	if per < 1 {
+		per = 1
+	}
+	t := &pendingTable{}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.calls = make(map[opKey][]*pendingCall)
+		sh.done = make(map[opKey]struct{})
+		sh.doneRing.max = per
+	}
+	return t
+}
+
+// shard maps an operation key to its shard. Fibonacci hashing over the
+// mixed key fields spreads both gateway traffic (distinct client ids,
+// ChildSeq-only operation ids) and nested invocations (distinct parent
+// timestamps).
+func (t *pendingTable) shard(k opKey) *pendingShard {
+	h := k.clientID ^ k.op.ParentTS ^ uint64(k.op.ChildSeq)<<32 ^ uint64(k.src)<<13
+	return &t.shards[(h*0x9E3779B97F4A7C15)>>(64-4)&(pendingShards-1)]
+}
+
+// register adds a call awaiting responses for the operation.
+func (t *pendingTable) register(key opKey, c *pendingCall) {
+	sh := t.shard(key)
+	sh.mu.Lock()
+	sh.calls[key] = append(sh.calls[key], c)
+	sh.mu.Unlock()
+}
+
+// unregister removes a call, whether resolved or abandoned (timeout).
+func (t *pendingTable) unregister(key opKey, c *pendingCall) {
+	sh := t.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	calls := sh.calls[key]
+	kept := calls[:0]
+	for _, pc := range calls {
+		if pc != c {
+			kept = append(kept, pc)
+		}
+	}
+	if len(kept) == 0 {
+		delete(sh.calls, key)
+	} else {
+		sh.calls[key] = kept
+	}
+}

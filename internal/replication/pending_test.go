@@ -1,0 +1,152 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eternalgw/internal/giop"
+)
+
+// TestConcurrentInvokeStress exercises the sharded pending-call table:
+// many goroutines invoking concurrently across several groups, the shape
+// of a gateway serving many client connections. Run under -race (make
+// check) this is the data-race gate for the receive-path sharding.
+func TestConcurrentInvokeStress(t *testing.T) {
+	const (
+		groups            = 4
+		callers           = 4
+		calls             = 25
+		firstGrp  GroupID = 40
+		clientGrp GroupID = 90
+	)
+	d := newDomain(t, 3)
+	d.mustCreate(clientGrp, Active, "")
+	d.mustJoin(d.ids[2], clientGrp, nil)
+	for gi := 0; gi < groups; gi++ {
+		id := firstGrp + GroupID(gi)
+		d.mustCreate(id, Active, fmt.Sprintf("stress/%d", gi))
+		d.mustJoin(d.ids[gi%2], id, &regApp{})
+		d.mustJoin(d.ids[(gi+1)%2], id, &regApp{})
+	}
+	client := d.rms[d.ids[2]]
+	for gi := 0; gi < groups; gi++ {
+		if err := client.WaitForMembers(firstGrp+GroupID(gi), 2, 5*time.Second); err != nil {
+			t.Fatalf("group %d members: %v", gi, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, groups*callers)
+	for gi := 0; gi < groups; gi++ {
+		for ci := 0; ci < callers; ci++ {
+			wg.Add(1)
+			go func(dst GroupID, clientID uint64) {
+				defer wg.Done()
+				for i := uint32(1); i <= calls; i++ {
+					_, err := client.Invoke(clientGrp, clientID, dst,
+						OperationID{ParentTS: 0, ChildSeq: i}, giop.Request{
+							RequestID:        i,
+							ResponseExpected: true,
+							ObjectKey:        []byte("stress"),
+							Operation:        "set",
+							Args:             octets([]byte("v")),
+						}, 5*time.Second)
+					if err != nil {
+						errs <- fmt.Errorf("group %d client %d call %d: %w", dst, clientID, i, err)
+						return
+					}
+				}
+			}(firstGrp+GroupID(gi), uint64(ci+1))
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := client.Stats().ResponsesDelivered; got != groups*callers*calls {
+		t.Fatalf("ResponsesDelivered = %d, want %d", got, groups*callers*calls)
+	}
+}
+
+// TestDuplicateResponseStormDiscardsEarly pins the early-discard
+// arithmetic at replication degree 3: every request draws one response
+// per replica, the first copy resolves the caller, and the remaining
+// R-1 copies are discarded from the header peek — counted by both the
+// duplicate-response counter and the new early-discard counter.
+func TestDuplicateResponseStormDiscardsEarly(t *testing.T) {
+	const n = 10
+	d := newDomain(t, 4)
+	apps := setupClientServer(t, d, Active, 3, 3)
+	client := d.rms[d.ids[3]]
+	for i := uint32(1); i <= n; i++ {
+		rep, err := invokeAsClient(t, client, grpClient, 7, grpServer, i, "append", octets([]byte("x")))
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if rep.Status != giop.ReplyNoException {
+			t.Fatalf("invoke %d: status %v", i, rep.Status)
+		}
+	}
+	st := func() Stats { return client.Stats() }
+	waitStat(t, func() uint64 { return st().ResponsesDelivered }, n)
+	// Degree 3: two redundant copies per request, all discarded before
+	// payload decode.
+	waitStat(t, func() uint64 { return st().ResponsesDiscardedEarly }, (3-1)*n)
+	waitStat(t, func() uint64 { return st().DuplicateResponses }, (3-1)*n)
+	for i, app := range apps {
+		if _, ops := app.snapshot(); ops != n {
+			t.Fatalf("replica %d executed %d ops, want %d", i, ops, n)
+		}
+	}
+	// The servers are not members of the responses' destination group:
+	// redundant copies there fall off the header peek without being
+	// counted as this node's duplicates.
+	for i := 0; i < 3; i++ {
+		if got := d.rms[d.ids[i]].Stats().DuplicateResponses; got != 0 {
+			t.Fatalf("server %d DuplicateResponses = %d, want 0", i, got)
+		}
+	}
+}
+
+// TestDecodeHeaderMatchesDecode pins the header-first peek to the full
+// decoder: same header, payload aliasing the input rather than copied.
+func TestDecodeHeaderMatchesDecode(t *testing.T) {
+	msg := Message{
+		Header: Header{
+			Kind:     KindResponse,
+			ClientID: 0xDEADBEEF,
+			SrcGroup: 12,
+			DstGroup: 34,
+			Op:       OperationID{ParentTS: 1 << 40, ChildSeq: 9},
+		},
+		Payload: []byte("encapsulated-iiop-reply"),
+	}
+	b := Encode(msg)
+	hv, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Header != full.Header {
+		t.Fatalf("header peek %+v, full decode %+v", hv.Header, full.Header)
+	}
+	if string(hv.Payload) != string(full.Payload) {
+		t.Fatalf("payload peek %q, full decode %q", hv.Payload, full.Payload)
+	}
+	// The view aliases the input; Decode copies.
+	if len(hv.Payload) > 0 && &hv.Payload[0] != &b[len(b)-len(hv.Payload)] {
+		t.Fatal("HeaderView payload does not alias the input buffer")
+	}
+	if &full.Payload[0] == &hv.Payload[0] {
+		t.Fatal("Decode payload aliases the input buffer")
+	}
+}

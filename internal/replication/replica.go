@@ -29,8 +29,14 @@ const (
 // task is one unit of work, created by the event loop at a specific
 // point in the total order and executed asynchronously in that order.
 type task struct {
-	kind    taskKind
-	msg     Message
+	kind taskKind
+	// msg's payload may alias the delivery buffer; the executor decodes
+	// or copies it, never retains it.
+	msg Message
+	// raw is the full encoded wire form of an invocation delivery
+	// (header plus payload), aliasing the delivery buffer; backups copy
+	// it into the replay log instead of re-encoding msg.
+	raw     []byte
 	ts      uint64
 	execute bool
 	logInv  bool
@@ -115,7 +121,7 @@ type replica struct {
 
 	// executor-owned state.
 	executed     map[opKey]giop.Reply
-	executedFIFO []opKey
+	executedRing opKeyRing    // O(1) FIFO eviction for executed
 	dedupLen     atomic.Int64 // len(executed), readable off the executor
 	opCount      uint64
 	lastOpTS     uint64
@@ -127,12 +133,13 @@ type replica struct {
 
 func newReplica(m *Mechanisms, group GroupID, style Style, app Application) *replica {
 	r := &replica{
-		m:        m,
-		group:    group,
-		style:    style,
-		app:      app,
-		tasks:    newTaskQueue(),
-		executed: make(map[opKey]giop.Reply),
+		m:            m,
+		group:        group,
+		style:        style,
+		app:          app,
+		tasks:        newTaskQueue(),
+		executed:     make(map[opKey]giop.Reply),
+		executedRing: opKeyRing{max: m.cfg.DedupCapacity},
 	}
 	if app != nil {
 		go r.runExecutor()
@@ -177,7 +184,9 @@ func (r *replica) handle(t task) {
 
 func (r *replica) handleInvoke(t task) {
 	if t.logInv {
-		entry := logrec.Entry{Seq: t.ts, Data: Encode(t.msg)}
+		// The delivery already carries the encoded wire form; copy it
+		// (it aliases the delivery buffer) rather than re-encoding.
+		entry := logrec.Entry{Seq: t.ts, Data: append([]byte(nil), t.raw...)}
 		switch r.style {
 		case WarmPassive:
 			r.pendingLog = append(r.pendingLog, entry)
@@ -236,16 +245,15 @@ func (r *replica) executeInvocation(msg Message, ts uint64, replay bool) {
 }
 
 // remember caches an executed operation's reply for duplicate detection,
-// bounded by the configured capacity.
+// bounded by the configured capacity. Eviction is O(1) through the key
+// ring; the former slice FIFO shifted (s = s[1:]) per eviction, which is
+// O(n) and retains the backing array.
 func (r *replica) remember(key opKey, rep giop.Reply) {
 	if _, ok := r.executed[key]; ok {
 		return
 	}
 	r.executed[key] = rep
-	r.executedFIFO = append(r.executedFIFO, key)
-	if len(r.executedFIFO) > r.m.cfg.DedupCapacity {
-		old := r.executedFIFO[0]
-		r.executedFIFO = r.executedFIFO[1:]
+	if old, evicted := r.executedRing.push(key); evicted {
 		delete(r.executed, old)
 	}
 	r.dedupLen.Store(int64(len(r.executed)))
@@ -435,14 +443,14 @@ func (h *Handle) Invoke(objectKey []byte, op string, args []byte, timeout time.D
 	if !ok {
 		return nil, fmt.Errorf("replication: object key %q: %w", objectKey, ErrNoSuchGroup)
 	}
-	h.m.mu.Lock()
+	h.m.mu.RLock()
 	g, ok := h.m.groups[h.group]
 	if !ok || g.local == nil {
-		h.m.mu.Unlock()
+		h.m.mu.RUnlock()
 		return nil, fmt.Errorf("group %d: %w", h.group, ErrNotMember)
 	}
 	r := g.local
-	h.m.mu.Unlock()
+	h.m.mu.RUnlock()
 	if r.curParentTS == 0 {
 		return nil, errors.New("replication: nested Invoke outside an executing operation")
 	}

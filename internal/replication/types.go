@@ -128,7 +128,8 @@ type Config struct {
 	// cold-passive checkpoints written to the log. Zero means 32.
 	CheckpointInterval int
 	// DedupCapacity bounds the per-group duplicate-detection and
-	// response-cache tables. Zero means 16384 operations.
+	// response-cache tables, and the node's early-discard done-set for
+	// duplicate responses. Zero means 16384 operations.
 	DedupCapacity int
 	// InvokeTimeout bounds waiting for a response. Zero means 10s.
 	InvokeTimeout time.Duration
@@ -179,11 +180,14 @@ type Stats struct {
 	ResponsesSent        uint64
 	ResponsesDelivered   uint64
 	DuplicateResponses   uint64 // detected and suppressed
-	StateTransfers       uint64
-	StateSyncs           uint64
-	Checkpoints          uint64
-	Failovers            uint64
-	ReplayedInvocations  uint64
+	// ResponsesDiscardedEarly is the subset of DuplicateResponses
+	// dropped from the header peek alone, without payload decode.
+	ResponsesDiscardedEarly uint64
+	StateTransfers          uint64
+	StateSyncs              uint64
+	Checkpoints             uint64
+	Failovers               uint64
+	ReplayedInvocations     uint64
 }
 
 // traceKey derives the obs trace key of a message: the paper's

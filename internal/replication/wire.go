@@ -84,21 +84,53 @@ func Encode(m Message) []byte {
 	return w.Bytes()
 }
 
-// Decode parses a multicast message.
-func Decode(b []byte) (Message, error) {
+// HeaderView is the cheap header-first peek at a delivered message: the
+// decoded fixed header plus the payload bytes, still encoded and
+// aliasing the delivery buffer. The event loop routes every delivery on
+// the header alone; payload decode is deferred to whoever needs it — the
+// replica executor for request bodies, the first pending waiter for
+// reply bodies — and skipped entirely for early-discarded duplicate
+// responses. The payload must not be mutated, and anything retained
+// beyond the delivery must be copied (the packed-delivery arena behind
+// it is shared by every payload of the datagram).
+type HeaderView struct {
+	Header  Header
+	Payload []byte
+}
+
+// Message materializes the view as a Message whose payload still aliases
+// the delivery buffer.
+func (v HeaderView) Message() Message {
+	return Message{Header: v.Header, Payload: v.Payload}
+}
+
+// DecodeHeader parses the fixed header of a multicast message, leaving
+// the payload unparsed and uncopied.
+func DecodeHeader(b []byte) (HeaderView, error) {
 	r := cdr.NewReader(b, cdr.BigEndian)
-	var m Message
-	m.Header.Kind = Kind(r.ReadOctet())
-	m.Header.ClientID = r.ReadULongLong()
-	m.Header.SrcGroup = GroupID(r.ReadULong())
-	m.Header.DstGroup = GroupID(r.ReadULong())
-	m.Header.Op.ParentTS = r.ReadULongLong()
-	m.Header.Op.ChildSeq = r.ReadULong()
-	payload := r.ReadOctetSeq()
+	var v HeaderView
+	v.Header.Kind = Kind(r.ReadOctet())
+	v.Header.ClientID = r.ReadULongLong()
+	v.Header.SrcGroup = GroupID(r.ReadULong())
+	v.Header.DstGroup = GroupID(r.ReadULong())
+	v.Header.Op.ParentTS = r.ReadULongLong()
+	v.Header.Op.ChildSeq = r.ReadULong()
+	v.Payload = r.ReadOctetSeq()
 	if err := r.Err(); err != nil {
-		return Message{}, fmt.Errorf("replication: decode: %w", err)
+		return HeaderView{}, fmt.Errorf("replication: decode: %w", err)
 	}
-	m.Payload = append([]byte(nil), payload...)
+	return v, nil
+}
+
+// Decode parses a multicast message, copying the payload so the result
+// does not alias the input.
+func Decode(b []byte) (Message, error) {
+	v, err := DecodeHeader(b)
+	if err != nil {
+		return Message{}, err
+	}
+	m := v.Message()
+	m.Payload = append([]byte(nil), m.Payload...)
 	return m, nil
 }
 

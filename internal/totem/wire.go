@@ -128,10 +128,20 @@ func decodePacked(r *cdr.Reader) (regularMsg, error) {
 	if r.Err() != nil || int(n) > r.Remaining()/4 {
 		return regularMsg{}, fmt.Errorf("totem: decode packed: bad part count %d", n)
 	}
+	// One arena allocation per datagram instead of one per part: the
+	// parts are copied out of the transport buffer into a single backing
+	// buffer and delivered as capped subslices of it. Consumers treat
+	// delivered payloads as read-only, so sharing the arena is safe; the
+	// cap on each subslice keeps an append from bleeding into the next
+	// part. The arena is sized at the reader's remainder, a slight
+	// overestimate (length prefixes and padding), so it never regrows.
 	m.Parts = make([][]byte, 0, n)
+	arena := make([]byte, 0, r.Remaining())
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
 		p := r.ReadOctetSeq()
-		m.Parts = append(m.Parts, append([]byte(nil), p...))
+		off := len(arena)
+		arena = append(arena, p...)
+		m.Parts = append(m.Parts, arena[off:len(arena):len(arena)])
 	}
 	if err := r.Err(); err != nil {
 		return regularMsg{}, fmt.Errorf("totem: decode packed: %w", err)
