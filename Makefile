@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-baseline bench-compare clean
+.PHONY: build test vet race check soak bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ race:
 # test suite under the race detector.
 check: vet race
 
+# soak slams one admission-controlled gateway at 4x its configured
+# in-flight window under the race detector while fault injection slows
+# the domain (overload_test.go): the overload-protection acceptance gate.
+SOAK_COUNT ?= 1
+soak:
+	$(GO) test -race -run TestGatewayOverloadSoak -count $(SOAK_COUNT) -timeout 10m -v .
+
 # bench runs the datapath throughput suite (round trips, multi-client
 # load, packing on/off ablation) with the same methodology as the
 # recorded BENCH_*.json trajectory files, then prints a JSON summary in
@@ -27,7 +34,7 @@ check: vet race
 # BENCH_COUNT for more repetitions.
 BENCH_COUNT ?= 3
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkGatewayRoundTrip|BenchmarkGatewayMultiClient|BenchmarkGatewayPacking|BenchmarkGatewayReplicationDegree|BenchmarkGatewayMultiGroup' -benchtime 2s -count $(BENCH_COUNT) . | tee /tmp/bench_run.txt
+	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkGatewayRoundTrip|BenchmarkGatewayMultiClient|BenchmarkGatewayPacking|BenchmarkGatewayReplicationDegree|BenchmarkGatewayMultiGroup|BenchmarkGatewayAdmission' -benchtime 2s -count $(BENCH_COUNT) . | tee /tmp/bench_run.txt
 	@awk -f scripts/benchjson.awk /tmp/bench_run.txt
 
 # bench-baseline reproduces the original gateway round-trip numbers

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"eternalgw/internal/admission"
 	"eternalgw/internal/domain"
 	"eternalgw/internal/experiments"
 	"eternalgw/internal/ftmgmt"
@@ -140,6 +142,62 @@ func BenchmarkGatewayMultiGroup(b *testing.B) {
 
 func benchMultiClient(b *testing.B, clients, payload int, disablePacking bool) {
 	benchMultiClientDegree(b, clients, payload, 2, disablePacking)
+}
+
+// BenchmarkGatewayAdmission is the admission-control ablation at the
+// r=3/c=4 headline shape: "off" is the plain gateway (nil controller, one
+// nil check per decision point), "on" is a controller with generous caps
+// so every request is admitted and the benchmark prices the mechanism —
+// the token bucket, the in-flight window and the breaker sample — not the
+// shedding. The acceptance bar for the admission subsystem is "on" within
+// 5% of "off".
+func BenchmarkGatewayAdmission(b *testing.B) {
+	generous := &admission.Config{
+		MaxConns:          1024,
+		MaxConnsPerClient: 1024,
+		Rate:              1e9,
+		MaxInFlight:       1024,
+		AdmitWait:         time.Second,
+	}
+	for _, mode := range []struct {
+		name string
+		ac   *admission.Config
+	}{{"off", nil}, {"on", generous}} {
+		for _, size := range throughputSizes {
+			b.Run(fmt.Sprintf("%s/%s", mode.name, size.name), func(b *testing.B) {
+				benchMultiClientAdmission(b, 4, size.n, 3, mode.ac)
+			})
+		}
+	}
+}
+
+// benchMultiClientAdmission is benchMultiClientDegree with an admission
+// config on the gateway (nil = admission disabled).
+func benchMultiClientAdmission(b *testing.B, clients, payload, replicas int, ac *admission.Config) {
+	d := benchDomainPacking(b, replicas+1, false)
+	benchDeploy(b, d, replication.Active, replicas)
+	gw, err := d.AddGatewayAdmission(replicas, "", ac)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conns := make([]*orb.Conn, clients)
+	for i := range conns {
+		c, err := orb.Dial(gw.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = c.Close() })
+		conns[i] = c
+	}
+	args := experiments.OctetSeqArg(make([]byte, payload))
+	b.SetBytes(int64(payload))
+	b.ResetTimer()
+	runClients(b, conns, func(int) []byte { return []byte(benchKey) }, args)
+	if ac != nil {
+		if shed := gw.Stats().RequestsShed; shed != 0 {
+			b.Fatalf("generous admission shed %d requests", shed)
+		}
+	}
 }
 
 // benchMultiClientDegree is the shared multi-client body: `replicas`

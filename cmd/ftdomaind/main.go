@@ -20,9 +20,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"eternalgw/internal/admission"
+	"eternalgw/internal/core"
 	"eternalgw/internal/domain"
 	"eternalgw/internal/experiments"
 	"eternalgw/internal/ftmgmt"
@@ -93,6 +96,12 @@ func main() {
 		trace    = flag.Bool("trace", false, "record per-invocation traces, shown on /statusz (requires -obs-addr)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/ on the ops server (requires -obs-addr)")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug|info|warn|error")
+
+		maxConns     = flag.Int("max-conns", 0, "admission: max concurrent client connections per gateway (0 = unlimited)")
+		maxConnsPer  = flag.Int("max-conns-per-client", 0, "admission: max concurrent connections per client address (0 = unlimited)")
+		rate         = flag.Float64("rate", 0, "admission: per-client sustained request rate in req/s (0 = unlimited)")
+		inflight     = flag.Int("inflight", 0, "admission: max requests concurrently in flight per gateway (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "how long a gateway may bleed in-flight requests on shutdown")
 	)
 	flag.Parse()
 	if err := run(runOpts{
@@ -100,6 +109,8 @@ func main() {
 		styleStr: *styleStr, listen: *listen, monitor: *monitor,
 		udp: *udp, quorum: *quorum,
 		obsAddr: *obsAddr, trace: *trace, pprof: *pprofOn, logLevel: *logLevel,
+		maxConns: *maxConns, maxConnsPerClient: *maxConnsPer,
+		rate: *rate, inflight: *inflight, drainTimeout: *drainTimeout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ftdomaind:", err)
 		os.Exit(1)
@@ -116,6 +127,33 @@ type runOpts struct {
 	trace                     bool
 	pprof                     bool
 	logLevel                  string
+
+	maxConns, maxConnsPerClient int
+	rate                        float64
+	inflight                    int
+	drainTimeout                time.Duration
+
+	// stop, when non-nil, ends the serve loop like a signal would (tests
+	// use it to drive a graceful shutdown without raising signals).
+	stop <-chan struct{}
+	// onReady, when non-nil, is called with the gateway addresses once
+	// the domain is serving.
+	onReady func(addrs []string)
+}
+
+// admissionConfig translates the admission flags into a config template,
+// or nil when every knob is at its unlimited default.
+func (o *runOpts) admissionConfig() *admission.Config {
+	if o.maxConns == 0 && o.maxConnsPerClient == 0 && o.rate == 0 && o.inflight == 0 {
+		return nil
+	}
+	return &admission.Config{
+		MaxConns:          o.maxConns,
+		MaxConnsPerClient: o.maxConnsPerClient,
+		Rate:              o.rate,
+		MaxInFlight:       o.inflight,
+		AdmitWait:         100 * time.Millisecond,
+	}
 }
 
 func parseStyle(s string) (replication.Style, error) {
@@ -145,7 +183,16 @@ func run(o runOpts) error {
 	if replicas > nodes {
 		return fmt.Errorf("cannot place %d replicas on %d nodes", replicas, nodes)
 	}
-	cfg := domain.Config{Name: "demo", Nodes: nodes, Log: obs.NewLogger(os.Stderr, obs.ParseLevel(o.logLevel))}
+	cfg := domain.Config{
+		Name:      "demo",
+		Nodes:     nodes,
+		Log:       obs.NewLogger(os.Stderr, obs.ParseLevel(o.logLevel)),
+		Admission: o.admissionConfig(),
+	}
+	if cfg.Admission != nil {
+		fmt.Printf("admission control: max-conns=%d max-conns-per-client=%d rate=%g inflight=%d\n",
+			o.maxConns, o.maxConnsPerClient, o.rate, o.inflight)
+	}
 	var ops *obs.Server
 	if o.obsAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
@@ -232,6 +279,7 @@ func run(o runOpts) error {
 		addrs = strings.Split(listen, ",")
 		gateways = len(addrs)
 	}
+	var gwAddrs []string
 	for i := 0; i < gateways; i++ {
 		addr := ""
 		if addrs != nil {
@@ -241,7 +289,27 @@ func run(o runOpts) error {
 		if err != nil {
 			return fmt.Errorf("gateway %d: %w", i, err)
 		}
+		gwAddrs = append(gwAddrs, gw.Addr())
 		fmt.Printf("gateway %d listening on %s\n", i, gw.Addr())
+	}
+	if ops != nil && cfg.Admission != nil {
+		ops.AddStatusSection("admission", func() string {
+			var b strings.Builder
+			for i, gw := range d.Gateways() {
+				adm := gw.Admission()
+				if adm == nil {
+					continue
+				}
+				s := adm.Stats()
+				fmt.Fprintf(&b, "gateway %d (%s): inflight=%d draining=%v breaker=%v clients=%d admitted=%d shed rate=%d window=%d draining=%d conns over-cap=%d breaker=%d trips=%d\n",
+					i, gw.Addr(), gw.InFlight(), gw.Draining(), adm.BreakerOpen(), adm.TrackedClients(),
+					s.Admitted, s.ShedRate, s.ShedWindow, s.ShedDraining, s.ConnsOverCap, s.ConnsShedBreaker, s.BreakerTrips)
+			}
+			if b.Len() == 0 {
+				return "no admission-controlled gateways\n"
+			}
+			return b.String()
+		})
 	}
 	ref, err := d.PublishIOR(demoType, []byte(demoKey))
 	if err != nil {
@@ -262,10 +330,38 @@ func run(o runOpts) error {
 		ops.SetReady(true)
 	}
 	fmt.Println("serving; interrupt to stop")
+	if o.onReady != nil {
+		o.onReady(gwAddrs)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-o.stop:
+	}
+	// Graceful shutdown: every gateway drains concurrently — stops
+	// accepting, bleeds its in-flight invocations under the deadline, and
+	// hands remaining clients to whatever redundant gateways survive it
+	// (or, on full shutdown, to the clients' retry logic).
+	if ops != nil {
+		ops.SetReady(false)
+	}
+	fmt.Println("draining gateways")
+	drainTimeout := o.drainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = 5 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, gw := range d.Gateways() {
+		wg.Add(1)
+		go func(gw *core.Gateway) {
+			defer wg.Done()
+			_ = gw.Drain(drainTimeout)
+		}(gw)
+	}
+	wg.Wait()
 	fmt.Println("shutting down")
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"eternalgw/internal/orb"
+)
 
 func TestParseStyle(t *testing.T) {
 	tests := []struct {
@@ -29,5 +34,52 @@ func TestRunRejectsImpossiblePlacement(t *testing.T) {
 	}
 	if err := run(runOpts{nodes: 2, replicas: 1, gateways: 1, styleStr: "sideways"}); err == nil {
 		t.Fatal("bad style accepted")
+	}
+}
+
+func TestGracefulShutdownDrainsGateways(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan []string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(runOpts{
+			nodes: 2, replicas: 1, gateways: 1, styleStr: "active",
+			logLevel: "error", drainTimeout: 2 * time.Second,
+			inflight: 32,
+			stop:     stop,
+			onReady:  func(addrs []string) { ready <- addrs },
+		})
+	}()
+	var addrs []string
+	select {
+	case addrs = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("domain never became ready")
+	}
+	// A client is connected and served before the shutdown.
+	conn, err := orb.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Call([]byte(demoKey), "ops", nil, orb.InvokeOptions{Timeout: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// The stop signal triggers the drain; run returns cleanly.
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("graceful shutdown did not complete")
+	}
+	// The gateway's listener is gone.
+	if c, err := orb.Dial(addrs[0]); err == nil {
+		_ = c.Close()
+		t.Fatal("dial succeeded after shutdown")
 	}
 }

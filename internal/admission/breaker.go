@@ -1,0 +1,94 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the domain-backpressure circuit breaker: it opens when the
+// sampled load signal stays at or above the threshold for the sustain
+// period, and closes once the signal is back below the threshold and the
+// cooldown has elapsed. Sampling is lazy — the controller calls sample on
+// admission decisions, and the interval gate keeps the signal function
+// (which walks replication state) off the per-request fast path. A nil
+// *breaker (no Backpressure configured) is permanently closed.
+type breaker struct {
+	signal    func() float64
+	threshold float64
+	sustain   time.Duration
+	cooldown  time.Duration
+	interval  time.Duration
+
+	mu         sync.Mutex
+	lastSample time.Time
+	lastValue  float64
+	aboveSince time.Time // zero while the signal is below the threshold
+	openSince  time.Time
+	open       bool
+	trips      uint64
+}
+
+// newBreaker builds the breaker, or nil when cfg has no signal.
+func newBreaker(cfg Config) *breaker {
+	if cfg.Backpressure == nil {
+		return nil
+	}
+	return &breaker{
+		signal:    cfg.Backpressure,
+		threshold: cfg.BreakerThreshold,
+		sustain:   cfg.BreakerSustain,
+		cooldown:  cfg.BreakerCooldown,
+		interval:  cfg.BreakerInterval,
+	}
+}
+
+// sample refreshes the breaker state (at most once per interval) and
+// reports whether it is open.
+func (b *breaker) sample(now time.Time) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.lastSample.IsZero() && now.Sub(b.lastSample) < b.interval {
+		return b.open
+	}
+	b.lastSample = now
+	b.lastValue = b.signal()
+	if b.lastValue >= b.threshold {
+		if b.aboveSince.IsZero() {
+			b.aboveSince = now
+		}
+		if !b.open && now.Sub(b.aboveSince) >= b.sustain {
+			b.open = true
+			b.openSince = now
+			b.trips++
+		}
+	} else {
+		b.aboveSince = time.Time{}
+		if b.open && now.Sub(b.openSince) >= b.cooldown {
+			b.open = false
+		}
+	}
+	return b.open
+}
+
+// isOpen reports the current state without sampling.
+func (b *breaker) isOpen() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// tripCount reports how many times the breaker has opened.
+func (b *breaker) tripCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

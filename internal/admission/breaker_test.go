@@ -1,0 +1,107 @@
+package admission
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sig is a controllable backpressure signal.
+type sig struct{ bits atomic.Uint64 }
+
+func (s *sig) set(v float64) { s.bits.Store(uint64(v * 1000)) }
+func (s *sig) get() float64  { return float64(s.bits.Load()) / 1000 }
+
+// breakerConfig builds a controller whose breaker samples every call and
+// trips after `sustain` of continuous overload.
+func breakerController(s *sig, sustain, cooldown time.Duration) *Controller {
+	return New(Config{
+		Backpressure:     s.get,
+		BreakerThreshold: 0.9,
+		BreakerSustain:   sustain,
+		BreakerCooldown:  cooldown,
+		BreakerInterval:  time.Nanosecond,
+	})
+}
+
+func TestBreakerTripsOnSustainedBackpressure(t *testing.T) {
+	s := &sig{}
+	c := breakerController(s, time.Nanosecond, time.Nanosecond)
+	if c.BreakerOpen() {
+		t.Fatal("breaker open with zero signal")
+	}
+	s.set(1.0)
+	// First sample starts the sustain clock; the second (past the 1ns
+	// sustain) trips.
+	c.BreakerOpen()
+	time.Sleep(time.Millisecond)
+	if !c.BreakerOpen() {
+		t.Fatal("breaker did not trip on sustained overload")
+	}
+	if !c.ReserveConn(nil) {
+		t.Fatal("reservation refused while merely tripped (caps not reached)")
+	}
+	if v := c.AdmitConn("h"); v != ShedBreaker {
+		t.Fatalf("verdict = %v, want ShedBreaker", v)
+	}
+	st := c.Stats()
+	if st.BreakerTrips != 1 || !st.BreakerOpen || st.ConnsShedBreaker != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Requests on established connections are not shed by the breaker.
+	release, v := c.AdmitRequest(1)
+	if v != Admit {
+		t.Fatalf("request verdict while tripped = %v", v)
+	}
+	release()
+}
+
+func TestBreakerRecovers(t *testing.T) {
+	s := &sig{}
+	c := breakerController(s, time.Nanosecond, time.Nanosecond)
+	s.set(1.0)
+	c.BreakerOpen()
+	time.Sleep(time.Millisecond)
+	if !c.BreakerOpen() {
+		t.Fatal("breaker did not trip")
+	}
+	s.set(0.0)
+	time.Sleep(time.Millisecond)
+	if c.BreakerOpen() {
+		t.Fatal("breaker did not close after recovery and cooldown")
+	}
+	if !c.ReserveConn(nil) {
+		t.Fatal("reservation refused")
+	}
+	if v := c.AdmitConn("h"); v != Admit {
+		t.Fatalf("post-recovery verdict = %v", v)
+	}
+}
+
+func TestBreakerSustainFiltersSpikes(t *testing.T) {
+	s := &sig{}
+	c := breakerController(s, time.Hour, time.Nanosecond)
+	s.set(1.0)
+	for i := 0; i < 10; i++ {
+		if c.BreakerOpen() {
+			t.Fatal("breaker tripped before the sustain period")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBreakerCooldownHoldsOpen(t *testing.T) {
+	s := &sig{}
+	c := breakerController(s, time.Nanosecond, time.Hour)
+	s.set(1.0)
+	c.BreakerOpen()
+	time.Sleep(time.Millisecond)
+	if !c.BreakerOpen() {
+		t.Fatal("breaker did not trip")
+	}
+	s.set(0.0)
+	time.Sleep(time.Millisecond)
+	if !c.BreakerOpen() {
+		t.Fatal("breaker closed before the cooldown elapsed")
+	}
+}

@@ -31,12 +31,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eternalgw/internal/admission"
 	"eternalgw/internal/cdr"
 	"eternalgw/internal/giop"
 	"eternalgw/internal/metrics"
 	"eternalgw/internal/obs"
 	"eternalgw/internal/replication"
 )
+
+// repoIDTransient is the CORBA system exception the gateway raises when
+// admission control sheds a request: the standard "try again later"
+// exception, carrying the shed reason as its minor code
+// (admission.Verdict.Minor; see docs/OPERATIONS.md for the contract).
+const repoIDTransient = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 
 // Errors reported by the gateway.
 var ErrClosed = errors.New("gateway: closed")
@@ -73,6 +80,13 @@ type Config struct {
 	// hops (accept, decode, cache suppression, reply write). Nil — the
 	// default — is the disabled tracer: the datapath pays one nil check.
 	Tracer *obs.Tracer
+	// Admission, when set, is this gateway's admission controller:
+	// connection caps with accept-loop backpressure, per-client rate
+	// limiting and in-flight windows with TRANSIENT shedding, and the
+	// domain-backpressure breaker. Nil admits everything. The controller
+	// must be private to this gateway (its connection accounting is
+	// per-listener).
+	Admission *admission.Controller
 }
 
 // Stats snapshots gateway counters.
@@ -86,6 +100,9 @@ type Stats struct {
 	RequestsAbandoned     uint64 // received but never answered (gateway or domain failure)
 	Exceptions            uint64 // system exceptions returned to clients
 	ClientsDeparted       uint64 // departed-client notifications processed (state deleted)
+	RequestsShed          uint64 // requests refused by admission control (TRANSIENT returned)
+	ConnectionsShed       uint64 // connections refused by admission control (closed at accept)
+	DeparturesDropped     uint64 // departed-client notifications dropped by the bounded overflow queue
 }
 
 // cacheKey identifies a recorded operation: the routing triple of paper
@@ -97,6 +114,12 @@ type cacheKey struct {
 	op       replication.OperationID
 }
 
+// departQueueMax bounds the departed-client overflow queue: departures
+// beyond it are dropped (and counted) rather than spawning goroutines.
+// Dropping one only delays cleanup — the per-client records age out of
+// the bounded record caches regardless.
+const departQueueMax = 4096
+
 // Gateway bridges external IIOP clients into a fault tolerance domain.
 type Gateway struct {
 	cfg    Config
@@ -104,9 +127,25 @@ type Gateway struct {
 	ln     net.Listener
 	log    *obs.Logger
 	tracer *obs.Tracer
+	adm    *admission.Controller
 	// reqHist, non-nil only when cfg.Metrics is set, records round-trip
 	// latency of response-expected requests over a sliding window.
 	reqHist *metrics.Histogram
+
+	// draining is set by Drain: new requests are shed with TRANSIENT and
+	// the accept loop stops, while in-flight invocations bleed out.
+	draining atomic.Bool
+	// inflight counts requests currently being conveyed through the
+	// domain; Drain waits for it to reach zero. Tracked by the gateway
+	// itself so drain works with admission disabled too.
+	inflight atomic.Int64
+	// lnOnce/lnErr let Drain and Close both close the listener.
+	lnOnce sync.Once
+	lnErr  error
+	// acceptStop unblocks an accept loop waiting on a connection slot;
+	// closed by both Drain and Close.
+	acceptStop     chan struct{}
+	acceptStopOnce sync.Once
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -123,10 +162,14 @@ type Gateway struct {
 	// assigned client identifiers from any other gateway's.
 	instanceNonce uint64
 
-	// departq carries departed-client notifications from the replication
-	// event loop (whose observer must not block) to the departure worker.
-	departq chan uint64
-	quit    chan struct{}
+	// The departure overflow queue carries departed-client notifications
+	// from the replication event loop (whose observer must not block) to
+	// the departure worker. It is bounded at departQueueMax; notifications
+	// beyond that are dropped and counted rather than spawning goroutines.
+	depMu     sync.Mutex
+	depQueue  []uint64
+	depNotify chan struct{}
+	quit      chan struct{}
 
 	wg sync.WaitGroup
 
@@ -139,6 +182,9 @@ type Gateway struct {
 	requestsAbandoned     atomic.Uint64
 	exceptions            atomic.Uint64
 	clientsDeparted       atomic.Uint64
+	requestsShed          atomic.Uint64
+	connectionsShed       atomic.Uint64
+	departuresDropped     atomic.Uint64
 }
 
 // New creates a gateway, joins the gateway group as a client-only member
@@ -172,10 +218,12 @@ func New(cfg Config) (*Gateway, error) {
 		ln:            ln,
 		log:           cfg.Log.With("gateway"),
 		tracer:        cfg.Tracer,
+		adm:           cfg.Admission,
 		conns:         make(map[net.Conn]struct{}),
 		counters:      make(map[replication.GroupID]uint64),
 		records:       newRecordStore(cfg.ReplyCacheSize),
-		departq:       make(chan uint64, 1024),
+		depNotify:     make(chan struct{}, 1),
+		acceptStop:    make(chan struct{}),
 		quit:          make(chan struct{}),
 		instanceNonce: binary.BigEndian.Uint64(nonce[:]) &^ counterIDBit,
 	}
@@ -220,8 +268,41 @@ func (g *Gateway) registerMetrics(reg *obs.Registry) {
 		{"eternalgw_gateway_requests_abandoned_total", "Requests received but never answered.", g.requestsAbandoned.Load},
 		{"eternalgw_gateway_exceptions_total", "System exceptions returned to external clients.", g.exceptions.Load},
 		{"eternalgw_gateway_clients_departed_total", "Departed-client notifications processed.", g.clientsDeparted.Load},
+		{"eternalgw_gateway_requests_shed_total", "Requests refused by admission control (TRANSIENT returned).", g.requestsShed.Load},
+		{"eternalgw_gateway_connections_shed_total", "Connections refused by admission control (closed at accept).", g.connectionsShed.Load},
+		{"eternalgw_gateway_departures_dropped_total", "Departed-client notifications dropped by the bounded overflow queue.", g.departuresDropped.Load},
 	} {
 		reg.CounterFunc(c.name, c.help, lbl, c.fn)
+	}
+	reg.GaugeFunc("eternalgw_gateway_inflight_requests", "Requests currently being conveyed through the domain.", lbl,
+		func() float64 { return float64(g.inflight.Load()) })
+	reg.GaugeFunc("eternalgw_gateway_draining", "1 while the gateway is draining.", lbl, func() float64 {
+		if g.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	if g.adm != nil {
+		for _, c := range []struct {
+			name, help string
+			fn         func() uint64
+		}{
+			{"eternalgw_gateway_admission_admitted_total", "Requests admitted by the admission controller.", func() uint64 { return g.adm.Stats().Admitted }},
+			{"eternalgw_gateway_admission_shed_rate_total", "Requests shed by the per-client token bucket.", func() uint64 { return g.adm.Stats().ShedRate }},
+			{"eternalgw_gateway_admission_shed_window_total", "Requests shed by the in-flight window.", func() uint64 { return g.adm.Stats().ShedWindow }},
+			{"eternalgw_gateway_admission_shed_draining_total", "Requests shed while draining.", func() uint64 { return g.adm.Stats().ShedDraining }},
+			{"eternalgw_gateway_admission_conns_over_cap_total", "Connections shed by the per-client connection cap.", func() uint64 { return g.adm.Stats().ConnsOverCap }},
+			{"eternalgw_gateway_admission_conns_shed_breaker_total", "Connections shed by the open backpressure breaker.", func() uint64 { return g.adm.Stats().ConnsShedBreaker }},
+			{"eternalgw_gateway_admission_breaker_trips_total", "Times the backpressure breaker opened.", func() uint64 { return g.adm.Stats().BreakerTrips }},
+		} {
+			reg.CounterFunc(c.name, c.help, lbl, c.fn)
+		}
+		reg.GaugeFunc("eternalgw_gateway_admission_breaker_open", "1 while the backpressure breaker is open.", lbl, func() float64 {
+			if g.adm.Stats().BreakerOpen {
+				return 1
+			}
+			return 0
+		})
 	}
 	reg.GaugeFunc("eternalgw_gateway_open_connections", "Currently connected external clients.", lbl, func() float64 {
 		g.mu.Lock()
@@ -265,7 +346,30 @@ func (g *Gateway) Stats() Stats {
 		RequestsAbandoned:     g.requestsAbandoned.Load(),
 		Exceptions:            g.exceptions.Load(),
 		ClientsDeparted:       g.clientsDeparted.Load(),
+		RequestsShed:          g.requestsShed.Load(),
+		ConnectionsShed:       g.connectionsShed.Load(),
+		DeparturesDropped:     g.departuresDropped.Load(),
 	}
+}
+
+// Admission exposes the gateway's admission controller (nil when
+// admission is disabled), for status pages and tests.
+func (g *Gateway) Admission() *admission.Controller { return g.adm }
+
+// InFlight reports the number of requests currently being conveyed
+// through the domain on behalf of this gateway's clients.
+func (g *Gateway) InFlight() int64 { return g.inflight.Load() }
+
+// closeListener closes the external listener exactly once (Drain and
+// Close both need to).
+func (g *Gateway) closeListener() error {
+	g.lnOnce.Do(func() { g.lnErr = g.ln.Close() })
+	return g.lnErr
+}
+
+// stopAccepting wakes an accept loop blocked on a connection slot.
+func (g *Gateway) stopAccepting() {
+	g.acceptStopOnce.Do(func() { close(g.acceptStop) })
 }
 
 // Close stops accepting and severs all client connections. It models the
@@ -281,13 +385,14 @@ func (g *Gateway) Close() error {
 	}
 	g.closed = true
 	close(g.quit)
+	g.stopAccepting()
 	conns := make([]net.Conn, 0, len(g.conns))
 	for c := range g.conns {
 		conns = append(conns, c)
 	}
 	g.mu.Unlock()
 
-	err := g.ln.Close()
+	err := g.closeListener()
 	for _, c := range conns {
 		_ = c.Close()
 	}
@@ -312,16 +417,75 @@ func (g *Gateway) Shutdown() error {
 	return g.Close()
 }
 
+// Drain retires the gateway gracefully under a deadline: stop accepting
+// connections and admitting requests, bleed the in-flight invocations to
+// completion (so clients receive the responses they are owed), then hand
+// the remaining clients to the redundant gateway group with a GIOP
+// CloseConnection. Their enhanced ORBs fail over to the next profile and
+// reissue any still-pending invocations; the section 3.5 gateway-group
+// record answers reissues without re-executing operations, which is what
+// makes the handoff safe.
+//
+// Requests arriving while draining are shed with a TRANSIENT system
+// exception (minor code admission.ShedDraining), so even plain clients
+// observe a clean retryable failure rather than a hang.
+func (g *Gateway) Drain(timeout time.Duration) error {
+	g.draining.Store(true)
+	g.adm.BeginDrain()
+	g.stopAccepting()
+	_ = g.closeListener()
+	deadline := time.Now().Add(timeout)
+	for g.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := g.inflight.Load(); n > 0 {
+		g.log.Warnf("drain: %d invocations still in flight at deadline", n)
+	}
+	return g.Shutdown()
+}
+
+// Draining reports whether Drain has been initiated.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// hostOf extracts the client address (host without port) used for the
+// per-client connection cap.
+func hostOf(conn net.Conn) string {
+	addr := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}
+
 func (g *Gateway) acceptLoop() {
 	defer g.wg.Done()
 	for {
+		// Accept-loop backpressure: at the connection cap the gateway
+		// stops accepting; further clients wait in the kernel listen
+		// backlog instead of consuming gateway state.
+		if !g.adm.ReserveConn(g.acceptStop) {
+			return
+		}
 		conn, err := g.ln.Accept()
 		if err != nil {
+			g.adm.UnreserveConn()
 			return
+		}
+		host := hostOf(conn)
+		if v := g.adm.AdmitConn(host); v != admission.Admit {
+			// The shed connection gets a CloseConnection notification —
+			// the standard GIOP "go elsewhere" signal — so enhanced
+			// clients fail over to the next gateway profile immediately.
+			g.connectionsShed.Add(1)
+			g.log.Infof("shedding connection from %s: %s", conn.RemoteAddr(), v)
+			_ = giop.WriteMessage(conn, giop.EncodeCloseConnection(cdr.BigEndian))
+			_ = conn.Close()
+			continue
 		}
 		g.mu.Lock()
 		if g.closed {
 			g.mu.Unlock()
+			g.adm.ReleaseConn(host)
 			_ = conn.Close()
 			return
 		}
@@ -329,7 +493,7 @@ func (g *Gateway) acceptLoop() {
 		g.mu.Unlock()
 		g.connectionsAccepted.Add(1)
 		g.wg.Add(1)
-		go g.serveConn(conn)
+		go g.serveConn(conn, host)
 	}
 }
 
@@ -350,7 +514,7 @@ type clientConn struct {
 // socket (paper section 3.1). When the client departs, the gateway
 // informs the other gateways so they can delete any state stored on the
 // client's behalf (section 3.5).
-func (g *Gateway) serveConn(nc net.Conn) {
+func (g *Gateway) serveConn(nc net.Conn, host string) {
 	defer g.wg.Done()
 	cc := &clientConn{gw: g, nc: nc, ids: make(map[replication.GroupID]uint64), cancelled: make(map[uint32]bool)}
 	defer func() {
@@ -358,6 +522,7 @@ func (g *Gateway) serveConn(nc net.Conn) {
 		g.mu.Lock()
 		delete(g.conns, nc)
 		g.mu.Unlock()
+		g.adm.ReleaseConn(host)
 		g.announceDepartures(cc)
 	}()
 	var reqWG sync.WaitGroup
@@ -386,10 +551,39 @@ func (g *Gateway) serveConn(nc net.Conn) {
 				continue
 			}
 			g.requestsReceived.Add(1)
+			// Resolving the group and client identifier before admission
+			// keeps shed decisions per-client (the paper's TCP client
+			// identifier), and a bad object key never costs a window slot.
+			group, ok := g.rm.GroupByKey(req.ObjectKey)
+			if !ok {
+				g.exceptions.Add(1)
+				cc.writeReplyRaw(msg, req, giop.Reply{
+					RequestID: req.RequestID,
+					Status:    giop.ReplySystemException,
+					Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 0, 0),
+				})
+				continue
+			}
+			clientID := cc.clientID(group, req)
+			if g.draining.Load() {
+				cc.shedReply(msg, req, admission.ShedDraining)
+				continue
+			}
+			release, verdict := g.adm.AdmitRequest(clientID)
+			if verdict != admission.Admit {
+				cc.shedReply(msg, req, verdict)
+				continue
+			}
+			// The goroutine spawn is gated by the in-flight window above:
+			// under overload the gateway sheds instead of growing without
+			// bound.
+			g.inflight.Add(1)
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				cc.handleRequest(msg, req, arrived)
+				defer g.inflight.Add(-1)
+				defer release()
+				cc.handleRequest(msg, req, arrived, group, clientID)
 			}()
 		case giop.MsgLocateRequest:
 			cc.handleLocate(msg)
@@ -463,19 +657,8 @@ const counterIDBit = uint64(1) << 63
 // server group, tag the request with the client and operation
 // identifiers, convey it into the fault tolerance domain, and return the
 // (first, deduplicated) response over the client's socket.
-func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request, arrived time.Time) {
+func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request, arrived time.Time, group replication.GroupID, clientID uint64) {
 	gw := cc.gw
-	group, ok := gw.rm.GroupByKey(req.ObjectKey)
-	if !ok {
-		gw.exceptions.Add(1)
-		cc.writeReplyRaw(msg, req, giop.Reply{
-			RequestID: req.RequestID,
-			Status:    giop.ReplySystemException,
-			Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 0, 0),
-		})
-		return
-	}
-	clientID := cc.clientID(group, req)
 	op := replication.OperationID{ParentTS: 0, ChildSeq: req.RequestID}
 	key := cacheKey{group: group, clientID: clientID, op: op}
 	tkey := obs.TraceKey{ClientID: clientID, ParentTS: op.ParentTS, ChildSeq: op.ChildSeq}
@@ -567,6 +750,26 @@ func (cc *clientConn) isCancelled(id uint32) bool {
 	return false
 }
 
+// shedReply refuses an invocation with a TRANSIENT system exception —
+// the CORBA "try again" signal. completed=COMPLETED_NO tells the client
+// the operation never entered the total order, so an immediate retry (or
+// a failover to a redundant gateway) is always safe. The admission
+// verdict travels in the minor code so operators can tell shed causes
+// apart on the wire.
+func (cc *clientConn) shedReply(msg giop.Message, req giop.Request, v admission.Verdict) {
+	gw := cc.gw
+	gw.requestsShed.Add(1)
+	gw.exceptions.Add(1)
+	if !req.ResponseExpected {
+		return
+	}
+	cc.writeReplyRaw(msg, req, giop.Reply{
+		RequestID: req.RequestID,
+		Status:    giop.ReplySystemException,
+		Result:    giop.SystemExceptionBody(msg.Header.Order, repoIDTransient, v.Minor(), 1),
+	})
+}
+
 // writeReplyRaw re-encodes a reply in the byte order of the client's
 // request and writes it to the socket.
 func (cc *clientConn) writeReplyRaw(msg giop.Message, req giop.Request, rep giop.Reply) {
@@ -627,20 +830,27 @@ func (g *Gateway) departureLoop() {
 	defer g.wg.Done()
 	for {
 		select {
-		case id := <-g.departq:
-			g.processDeparture(id)
+		case <-g.depNotify:
+			g.drainDepartures()
 		case <-g.quit:
-			// Drain notifications already queued so departures observed
+			// Process notifications already queued so departures observed
 			// before shutdown still clean up.
-			for {
-				select {
-				case id := <-g.departq:
-					g.processDeparture(id)
-				default:
-					return
-				}
-			}
+			g.drainDepartures()
+			return
 		}
+	}
+}
+
+// drainDepartures swaps out the queued departure notifications and
+// processes them. Swapping under the lock keeps the observer's enqueue
+// path to an append.
+func (g *Gateway) drainDepartures() {
+	g.depMu.Lock()
+	batch := g.depQueue
+	g.depQueue = nil
+	g.depMu.Unlock()
+	for _, id := range batch {
+		g.processDeparture(id)
 	}
 }
 
@@ -657,19 +867,22 @@ func (g *Gateway) observe(msg replication.Message, ts uint64) {
 	switch msg.Header.Kind {
 	case replication.KindGatewayControl:
 		// A client departed somewhere in the gateway group: hand the
-		// cleanup to the departure worker.
+		// cleanup to the departure worker over a bounded queue. A full
+		// queue drops the notification instead of spawning a goroutine —
+		// the departure worker is already saturated, and the dropped
+		// client's records age out of the bounded record caches anyway.
 		if msg.Header.ClientID != replication.UnusedClientID {
-			select {
-			case g.departq <- msg.Header.ClientID:
-			case <-g.quit:
-			default:
-				// Queue full: shed to a goroutine rather than block the
-				// event loop.
-				g.wg.Add(1)
-				go func(id uint64) {
-					defer g.wg.Done()
-					g.processDeparture(id)
-				}(msg.Header.ClientID)
+			g.depMu.Lock()
+			if len(g.depQueue) < departQueueMax {
+				g.depQueue = append(g.depQueue, msg.Header.ClientID)
+				g.depMu.Unlock()
+				select {
+				case g.depNotify <- struct{}{}:
+				default:
+				}
+			} else {
+				g.depMu.Unlock()
+				g.departuresDropped.Add(1)
 			}
 		}
 		return

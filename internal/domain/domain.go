@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"eternalgw/internal/admission"
 	"eternalgw/internal/core"
 	"eternalgw/internal/ftmgmt"
 	"eternalgw/internal/interceptor"
@@ -46,6 +47,13 @@ type Config struct {
 	GatewayGroup replication.GroupID
 	// GatewayInvokeTimeout bounds invocations forwarded by gateways.
 	GatewayInvokeTimeout time.Duration
+	// Admission, when set, is the admission-control template applied to
+	// every gateway added with AddGateway: each gateway gets its own
+	// controller built from a copy of this config, with the breaker's
+	// backpressure signal defaulted to the hosting node's replication
+	// mechanisms. Nil disables admission control (every connection and
+	// request is accepted), matching the pre-admission behaviour.
+	Admission *admission.Config
 	// TransportFactory, when set, supplies each processor's network
 	// attachment instead of the simulated in-process network — e.g.
 	// udpnet endpoints for a domain running over real UDP sockets. The
@@ -180,14 +188,33 @@ func (d *Domain) Gateways() []*core.Gateway {
 
 // AddGateway starts a gateway on processor i listening on addr (empty
 // for an ephemeral localhost port) and waits until it is a live member
-// of the gateway group.
+// of the gateway group. The domain's Admission template, if any,
+// parameterizes the gateway's admission controller.
 func (d *Domain) AddGateway(i int, addr string) (*core.Gateway, error) {
+	return d.AddGatewayAdmission(i, addr, d.cfg.Admission)
+}
+
+// AddGatewayAdmission is AddGateway with an explicit admission config
+// for this gateway (overriding the domain template; nil disables
+// admission). When the config has no Backpressure signal, the hosting
+// node's replication mechanisms supply it, so the breaker trips on that
+// node's totem send backlog and pending-call occupancy.
+func (d *Domain) AddGatewayAdmission(i int, addr string, ac *admission.Config) (*core.Gateway, error) {
 	n := d.nodes[i]
+	var adm *admission.Controller
+	if ac != nil {
+		cfg := *ac
+		if cfg.Backpressure == nil {
+			cfg.Backpressure = n.RM.Backpressure
+		}
+		adm = admission.New(cfg)
+	}
 	gw, err := core.New(core.Config{
 		RM:            n.RM,
 		Group:         d.cfg.GatewayGroup,
 		ListenAddr:    addr,
 		InvokeTimeout: d.cfg.GatewayInvokeTimeout,
+		Admission:     adm,
 		Metrics:       d.cfg.Metrics,
 		Tracer:        d.cfg.Tracer,
 		Log:           d.cfg.Log,

@@ -45,6 +45,10 @@ const (
 	RepoObjectNotExist = "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0"
 	RepoUnknown        = "IDL:omg.org/CORBA/UNKNOWN:1.0"
 	RepoCommFailure    = "IDL:omg.org/CORBA/COMM_FAILURE:1.0"
+	// RepoTransient is the CORBA "overloaded, try again" exception;
+	// gateways raise it (with the admission verdict in the minor code)
+	// when shedding requests under overload or drain.
+	RepoTransient = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 )
 
 // Servant handles invocations on one object. Implementations decode

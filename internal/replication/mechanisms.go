@@ -194,6 +194,37 @@ func (m *Mechanisms) registerMetrics(reg *obs.Registry) {
 		}
 		return float64(total)
 	})
+	reg.GaugeFunc("eternalgw_replication_pending_calls", "Invocations registered and awaiting responses on this node.", lbl, func() float64 {
+		return float64(m.PendingCalls())
+	})
+	reg.GaugeFunc("eternalgw_replication_backpressure", "Domain-side load signal in [0,1]: max of totem send backlog and pending-call occupancy against their windows.", lbl, m.Backpressure)
+}
+
+// PendingCalls reports how many invocations this node has registered and
+// not yet resolved (responses outstanding toward the domain).
+func (m *Mechanisms) PendingCalls() int {
+	return m.pending.occupancy()
+}
+
+// Backpressure is the domain-side load signal in [0, 1] that admission
+// breakers sample: the worse of (a) the totem send backlog against the
+// submission queue's capacity — ordered multicasts waiting for a token
+// visit — and (b) the pending-call occupancy against the configured
+// BackpressureWindow — invocations conveyed but unanswered. Either one
+// saturating means the domain is falling behind this node's offered
+// load, which an edge gateway should stop accepting.
+func (m *Mechanisms) Backpressure() float64 {
+	var sig float64
+	if queued, capacity := m.node.Backlog(); capacity > 0 {
+		sig = float64(queued) / float64(capacity)
+	}
+	if p := float64(m.PendingCalls()) / float64(m.cfg.BackpressureWindow); p > sig {
+		sig = p
+	}
+	if sig > 1 {
+		sig = 1
+	}
+	return sig
 }
 
 // DedupOccupancy reports, per group with a local servant replica, how

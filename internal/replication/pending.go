@@ -88,6 +88,22 @@ func (t *pendingTable) shard(k opKey) *pendingShard {
 	return &t.shards[(h*0x9E3779B97F4A7C15)>>(64-4)&(pendingShards-1)]
 }
 
+// occupancy counts the calls currently awaiting responses across all
+// shards. It takes each shard lock briefly; callers are scrape-time or
+// interval-sampled (the admission breaker), not per-request.
+func (t *pendingTable) occupancy() int {
+	total := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, calls := range sh.calls {
+			total += len(calls)
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // register adds a call awaiting responses for the operation.
 func (t *pendingTable) register(key opKey, c *pendingCall) {
 	sh := t.shard(key)

@@ -48,6 +48,16 @@ type Config struct {
 	// bridge replica's requests deduplicate to one operation at the
 	// target domain.
 	UniqueID []byte
+	// ShedBackoff is how long the layer waits before retrying an
+	// invocation a gateway shed with a TRANSIENT system exception
+	// (admission control, overload, drain). The wait doubles per
+	// consecutive shed of the same invocation. Zero means 5ms.
+	ShedBackoff time.Duration
+	// ShedFailover is how many consecutive TRANSIENT sheds of one
+	// invocation the layer tolerates from a gateway before failing over
+	// to the next profile (a draining or breaker-tripped gateway sheds
+	// everything; a redundant gateway may have capacity). Zero means 2.
+	ShedFailover int
 }
 
 func (c *Config) applyDefaults() {
@@ -60,6 +70,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxRounds == 0 {
 		c.MaxRounds = 2
 	}
+	if c.ShedBackoff == 0 {
+		c.ShedBackoff = 5 * time.Millisecond
+	}
+	if c.ShedFailover == 0 {
+		c.ShedFailover = 2
+	}
 }
 
 // Stats snapshots the layer's counters.
@@ -67,6 +83,7 @@ type Stats struct {
 	Calls     uint64
 	Failovers uint64 // profile switches performed
 	Reissues  uint64 // invocations reissued after a failover
+	Sheds     uint64 // TRANSIENT sheds received and retried
 }
 
 // Client is an enhanced unreplicated client bound to one replicated
@@ -86,6 +103,7 @@ type Client struct {
 	calls     uint64
 	failovers uint64
 	reissues  uint64
+	sheds     uint64
 }
 
 // Dial builds a client from a (possibly multi-profile) IOR and connects
@@ -128,7 +146,7 @@ func (c *Client) Gateway() string {
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Calls: c.calls, Failovers: c.failovers, Reissues: c.reissues}
+	return Stats{Calls: c.calls, Failovers: c.failovers, Reissues: c.reissues, Sheds: c.sheds}
 }
 
 // Close severs the connection.
@@ -205,6 +223,7 @@ func (c *Client) Invoke(op string, args []byte) (giop.Reply, error) {
 	sc := []giop.ServiceContext{{ID: giop.FTClientContextID, Data: c.uniqueID}}
 	badGen := -1
 	var lastErr error
+	sheds := 0 // consecutive TRANSIENT sheds on the current gateway
 	// One attempt per profile per round; the request id never changes,
 	// so a gateway that already saw the operation (directly or through
 	// the gateway group's record) recognizes the reissue.
@@ -226,10 +245,43 @@ func (c *Client) Invoke(op string, args []byte) (giop.Reply, error) {
 			Timeout:         c.cfg.CallTimeout,
 		})
 		if err == nil {
+			if c.shedVerdict(rep) {
+				// The gateway shed this invocation with TRANSIENT
+				// (completed NO — it never entered the total order, so
+				// retrying is always safe). Back off and retry; after
+				// ShedFailover consecutive sheds the gateway is treated
+				// as unavailable and the layer moves to the next profile.
+				c.mu.Lock()
+				c.sheds++
+				c.mu.Unlock()
+				sheds++
+				lastErr = fmt.Errorf("thinclient: gateway shed request %d", reqID)
+				backoff := c.cfg.ShedBackoff << uint(min(sheds-1, 4))
+				if sheds >= c.cfg.ShedFailover {
+					sheds = 0
+					badGen = gen
+				} else {
+					badGen = -1
+				}
+				time.Sleep(backoff)
+				continue
+			}
 			return rep, nil
 		}
+		sheds = 0
 		lastErr = err
 		badGen = gen
 	}
 	return giop.Reply{}, fmt.Errorf("%w (last error: %v)", ErrAllGatewaysDown, lastErr)
+}
+
+// shedVerdict reports whether a reply is a gateway admission shed: a
+// TRANSIENT system exception, the retry-me signal of the shed-reply
+// contract (docs/OPERATIONS.md).
+func (c *Client) shedVerdict(rep giop.Reply) bool {
+	if rep.Status != giop.ReplySystemException {
+		return false
+	}
+	repoID, _, _, err := giop.DecodeSystemException(rep.Result, rep.ResultOrder)
+	return err == nil && repoID == orb.RepoTransient
 }

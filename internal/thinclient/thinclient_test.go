@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"eternalgw/internal/admission"
 	"eternalgw/internal/cdr"
 	"eternalgw/internal/domain"
 	"eternalgw/internal/ftmgmt"
@@ -293,5 +294,82 @@ func TestConfiguredUniqueID(t *testing.T) {
 	defer func() { _ = c.Close() }()
 	if string(c.UniqueID()) != "bridge-7" {
 		t.Fatalf("unique id = %q", c.UniqueID())
+	}
+}
+
+func TestShedRetryAndFailover(t *testing.T) {
+	// The first gateway's admission control sheds with TRANSIENT; the
+	// layer backs off, retries, and after consecutive sheds fails over to
+	// the redundant gateway. No operation is lost or duplicated.
+	d := fastDomain(t, 4)
+	if _, err := d.AddGatewayAdmission(3, "", &admission.Config{Rate: 0.001, Burst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddGateway(2, ""); err != nil {
+		t.Fatal(err)
+	}
+	apps, ref := deploy(t, d, 2, 0)
+	c, err := thinclient.Dial(ref, thinclient.Config{ShedBackoff: time.Millisecond, ShedFailover: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	// The burst admits the first call; the second is shed twice on the
+	// rate-limited gateway and then completes on the redundant one.
+	for i := 1; i <= 2; i++ {
+		r, err := c.Call("add", addArgs(1))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			t.Fatalf("call %d returned %d: operation lost or duplicated", i, got)
+		}
+	}
+	st := c.Stats()
+	if st.Sheds < 2 || st.Failovers < 1 {
+		t.Fatalf("stats = %+v, want >= 2 sheds and a failover", st)
+	}
+	if c.Gateway() != d.Gateways()[1].Addr() {
+		t.Fatalf("connected to %s, want the redundant gateway %s", c.Gateway(), d.Gateways()[1].Addr())
+	}
+	for i, app := range apps {
+		if got := app.value(); got != 2 {
+			t.Fatalf("replica %d total = %d, want 2", i, got)
+		}
+	}
+}
+
+func TestDrainHandsClientsToRedundantGateway(t *testing.T) {
+	// Graceful drain: the connected gateway stops admitting and closes;
+	// the layer's reissue lands on the redundant gateway and the
+	// section 3.5 identifiers keep the operations exactly-once.
+	d := fastDomain(t, 4)
+	apps, ref := deploy(t, d, 2, 2)
+	c, err := thinclient.Dial(ref, thinclient.Config{CallTimeout: 2 * time.Second, ShedBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	const calls = 20
+	gws := d.Gateways()
+	for i := 1; i <= calls; i++ {
+		if i == 10 {
+			go func() { _ = gws[0].Drain(2 * time.Second) }()
+		}
+		r, err := c.Call("add", addArgs(1))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			t.Fatalf("call %d returned %d: operation lost or duplicated", i, got)
+		}
+	}
+	if st := c.Stats(); st.Failovers < 1 {
+		t.Fatalf("stats = %+v, want a failover off the drained gateway", st)
+	}
+	for i, app := range apps {
+		if got := app.value(); got != calls {
+			t.Fatalf("replica %d total = %d, want %d", i, got, calls)
+		}
 	}
 }

@@ -60,6 +60,9 @@ type Node struct {
 	reconfigN      atomic.Uint64
 	packedMsgN     atomic.Uint64
 	packedPartN    atomic.Uint64
+	// pendingN mirrors len(pending) (owned by the run goroutine) so
+	// Backlog can report send-queue depth without touching protocol state.
+	pendingN atomic.Int64
 
 	// protocol state, owned by the run goroutine
 	ring         []memnet.NodeID
@@ -170,6 +173,15 @@ func (n *Node) Multicast(payload []byte) error {
 	}
 }
 
+// Backlog reports the send-side backpressure signal: how many payloads
+// are queued for ordered broadcast (submitted but not yet consumed by a
+// token visit) against the submission queue's capacity. A backlog near
+// the capacity means Multicast callers are about to block — the domain
+// is not keeping up with offered load.
+func (n *Node) Backlog() (queued, capacity int) {
+	return len(n.sendq) + int(n.pendingN.Load()), cap(n.sendq)
+}
+
 // Members returns the most recently installed ring.
 func (n *Node) Members() []memnet.NodeID {
 	n.mu.Lock()
@@ -234,6 +246,7 @@ func (n *Node) run() {
 			n.handlePacket(pkt)
 		case payload := <-n.sendq:
 			n.pending = append(n.pending, payload)
+			n.pendingN.Store(int64(len(n.pending)))
 			n.drainSendq()
 			n.lastTrafficAt = time.Now()
 			if n.heldToken != nil {
@@ -256,6 +269,7 @@ func (n *Node) drainSendq() {
 		select {
 		case p := <-n.sendq:
 			n.pending = append(n.pending, p)
+			n.pendingN.Store(int64(len(n.pending)))
 		default:
 			return
 		}
@@ -545,6 +559,7 @@ func (n *Node) processToken(t token) {
 			n.pending[i] = nil
 		}
 		n.pending = n.pending[:rest]
+		n.pendingN.Store(int64(rest))
 	}
 	n.tryDeliver()
 

@@ -28,6 +28,15 @@ trap cleanup EXIT INT TERM
 echo "== before: $REF   after: working tree ==" >&2
 git worktree add --detach "$TREE" "$REF" >/dev/null
 cp bench_throughput_test.go "$TREE/bench_throughput_test.go"
+# The overlay only works while HEAD's bench file compiles against the
+# ref's packages; a ref predating a package the file imports (e.g.
+# internal/admission) breaks it. Fall back to the ref's own suite then —
+# the shared benchmarks still compare; ref-missing ones are skipped.
+if ! (cd "$TREE" && go vet . >/dev/null 2>&1); then
+    echo "== overlaid bench file does not compile at $REF; using ref's own bench_throughput_test.go ==" >&2
+    (cd "$TREE" && git checkout -- bench_throughput_test.go 2>/dev/null) || \
+        rm -f "$TREE/bench_throughput_test.go"
+fi
 
 BEFORE="$WORK/before.txt"
 AFTER="$WORK/after.txt"
