@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check soak bench bench-baseline bench-compare clean
+.PHONY: build test vet lint race check soak bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,18 @@ test:
 vet:
 	$(GO) vet ./...
 
-race:
-	$(GO) test -race ./...
+# lint runs the repository's domain analyzers (docs/STATIC_ANALYSIS.md):
+# once under the go tool as a vettool (per-package findings, cached like
+# vet), and once standalone for the whole-module checks a single build
+# unit cannot see (metric/doc sync, module-wide duplicate registration).
+lint:
+	$(GO) build -o bin/gwlint ./cmd/gwlint
+	$(GO) vet -vettool=$(CURDIR)/bin/gwlint ./...
+	./bin/gwlint ./...
 
 # check is the full verification gate: static analysis plus the whole
 # test suite under the race detector.
-check: vet race
+check: vet lint race
 
 # soak slams one admission-controlled gateway at 4x its configured
 # in-flight window under the race detector while fault injection slows

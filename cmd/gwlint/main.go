@@ -1,0 +1,117 @@
+// Command gwlint runs the repository's domain analyzers
+// (internal/analysis): arenaalias, looplock, completedno, metricname,
+// syncextra. It speaks two protocols:
+//
+//	go vet -vettool=$(pwd)/bin/gwlint ./...
+//
+// runs it as a vettool — cmd/go invokes it once per build unit with a
+// vet.cfg path, caching results like any vet run — and
+//
+//	gwlint ./packages...
+//
+// runs the standalone module driver, which additionally performs the
+// whole-module checks a single-unit vettool cannot (metric/doc sync,
+// module-wide duplicate registration). `make lint` runs both.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"eternalgw/internal/analysis"
+	"eternalgw/internal/analysis/arenaalias"
+	"eternalgw/internal/analysis/completedno"
+	"eternalgw/internal/analysis/looplock"
+	"eternalgw/internal/analysis/metricname"
+	"eternalgw/internal/analysis/syncextra"
+)
+
+var analyzers = []*analysis.Analyzer{
+	arenaalias.Analyzer,
+	looplock.Analyzer,
+	completedno.Analyzer,
+	metricname.Analyzer,
+	syncextra.Analyzer,
+}
+
+var globals = []analysis.GlobalCheck{
+	metricname.DocSync,
+}
+
+func main() {
+	// cmd/go probes the tool's identity with -V=full before using it and
+	// folds the reply into its action cache keys. The content hash of
+	// this binary is exactly the right identity: rebuild gwlint and
+	// every package re-vets.
+	vFlag := flag.String("V", "", "print version and exit (cmd/go protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go protocol)")
+	flag.Usage = usage
+	flag.Parse()
+	if *vFlag != "" {
+		fmt.Printf("gwlint version devel buildID=%s\n", selfHash())
+		return
+	}
+	if *flagsFlag {
+		// go vet asks which per-analyzer flags the tool accepts so it
+		// can forward its own; this suite has none.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(analysis.RunUnit(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	// The module-wide checks (doc sync, cross-package duplicates) only
+	// mean something against the full registration set; on a package
+	// subset every absent package would read as drift.
+	globalChecks := globals
+	for _, a := range args {
+		if a != "./..." {
+			globalChecks = nil
+		}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwlint:", err)
+		os.Exit(1)
+	}
+	os.Exit(analysis.RunModule(os.Stderr, dir, args, analyzers, globalChecks))
+}
+
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  gwlint [packages]          whole-module analysis (plus doc sync checks)
+  go vet -vettool=gwlint ./...   per-unit analysis under the go tool
+
+analyzers:
+`)
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress a finding with //lint:allow <analyzer> <reason>\n")
+}

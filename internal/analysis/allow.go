@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //lint:allow escape hatch. A directive of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// suppresses that analyzer's findings on the directive's own line, or —
+// when the directive stands alone on its line — on the line immediately
+// below (the staticcheck //lint:ignore placement). The reason is
+// mandatory: an allow that does not say why it is safe is itself a
+// finding, as is one naming an analyzer that is not in the suite.
+const allowPrefix = "//lint:allow"
+
+// allowKey identifies one suppressed (file line, analyzer) pair.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+type allowSet struct {
+	keys map[allowKey]bool
+}
+
+// suppresses reports whether d is covered by a directive.
+func (s allowSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return s.keys[allowKey{file: pos.Filename, line: pos.Line, name: d.Analyzer}]
+}
+
+// collectAllows scans every comment for allow directives. Well-formed
+// directives populate the suppression set; malformed ones (missing
+// reason, unknown analyzer) are returned as diagnostics so the escape
+// hatch cannot silently rot.
+func collectAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (allowSet, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	set := allowSet{keys: make(map[allowKey]bool)}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintdirective",
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				if !known[name] {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintdirective",
+						Message:  "//lint:allow names unknown analyzer " + name,
+					})
+					continue
+				}
+				set.keys[allowKey{file: pos.Filename, line: pos.Line, name: name}] = true
+				// A directive alone on its line covers the next line.
+				if lineIsOnlyComment(fset, f, c) {
+					set.keys[allowKey{file: pos.Filename, line: pos.Line + 1, name: name}] = true
+				}
+			}
+		}
+	}
+	return set, malformed
+}
+
+// lineIsOnlyComment reports whether c is the only token on its line, by
+// checking that no non-comment node of the file starts or ends on it.
+func lineIsOnlyComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	only := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !only {
+			return false
+		}
+		switch n.(type) {
+		case *ast.File, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if fset.Position(n.Pos()).Line <= line && line <= fset.Position(n.End()).Line {
+			// A spanning node (block, function) is fine; a node that
+			// starts or ends exactly on the line means code shares it.
+			if fset.Position(n.Pos()).Line == line || fset.Position(n.End()).Line == line {
+				only = false
+				return false
+			}
+		}
+		return true
+	})
+	return only
+}

@@ -1,0 +1,96 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis vocabulary, built only on the standard
+// library so the repository's domain linters (cmd/gwlint) carry no
+// external dependencies. An Analyzer inspects one type-checked package
+// through a Pass and reports Diagnostics; drivers (the vettool unit mode
+// and the whole-module mode in this package) handle loading, the
+// //lint:allow escape hatch, rendering and exit codes.
+//
+// The suite encodes invariants the compiler cannot see: delivery-arena
+// aliasing (arenaalias), the non-blocking replication event loop
+// (looplock), the COMPLETED_NO shed-reply contract (completedno), the
+// eternalgw_* metric conventions (metricname), and sharded-table
+// copy/alignment hygiene (syncextra). docs/STATIC_ANALYSIS.md documents
+// each invariant and its escape hatch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check: a name (used in diagnostics and in
+// //lint:allow directives), one-line documentation, and the per-package
+// Run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ModuleDir is the enclosing module root ("" when unknown, e.g. a
+	// package outside any module). metricname resolves the metric
+	// documentation file against it.
+	ModuleDir string
+	// Sizes32 models a 32-bit gc target (GOARCH=386); syncextra uses it
+	// to prove 64-bit alignment of atomically accessed fields.
+	Sizes32 types.Sizes
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	*p.diags = append(*p.diags, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: msg})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// RunAnalyzers applies every analyzer to one package and returns the
+// findings that survive the //lint:allow directives found in files,
+// together with diagnostics about malformed directives themselves.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, moduleDir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			ModuleDir: moduleDir,
+			Sizes32:   types.SizesFor("gc", "386"),
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	allows, malformed := collectAllows(fset, files, analyzers)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.suppresses(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, malformed...), nil
+}

@@ -1,0 +1,204 @@
+// Package analysistest is a small golden-file harness for the gwlint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest:
+// test packages live under testdata/src/<pkg>/, and every line where an
+// analyzer must report carries a trailing comment of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// The harness type-checks the testdata package against the real module
+// (so corpora may import eternalgw/internal/... packages), runs the
+// analyzer through the same RunAnalyzers entry point the drivers use —
+// //lint:allow processing included — and fails the test on any
+// unexpected or missing diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"eternalgw/internal/analysis"
+)
+
+// The module is listed and type-checked once per test binary: every Run
+// call shares one Loader, so corpora that import eternalgw packages see
+// the same type identities the analyzers key on.
+var (
+	loadOnce sync.Once
+	loadL    *analysis.Loader
+	loadErr  error
+)
+
+func sharedLoader() (*analysis.Loader, error) {
+	loadOnce.Do(func() {
+		moduleDir, err := findModuleDir()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		loadL, _, loadErr = analysis.LoadModule(moduleDir)
+	})
+	return loadL, loadErr
+}
+
+// expectation is one want regexp awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run checks one analyzer against testdata/src/<pkg> relative to the
+// calling test's package directory.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no .go files in %s", dir)
+	}
+
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("analysistest: load module: %v", err)
+	}
+	tp, err := l.CheckFiles("gwlint-testdata/"+pkg, files)
+	if err != nil {
+		t.Fatalf("analysistest: type-check %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(l.Fset, tp.Files, tp.Types, tp.Info, l.ModuleDir, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.Fset, tp.Files)
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses the `// want "re"...` comments of the package.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWants(strings.TrimSpace(text[idx+len("want "):]))
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, raw := range res {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWants splits a want payload into its quoted regexps.
+func parseWants(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("want: expected quoted regexp, have %q", s)
+		}
+		end := -1
+		if s[0] == '`' {
+			if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+				end = i + 2
+			}
+		} else {
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i + 1
+					break
+				}
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("want: unterminated quote in %q", s)
+		}
+		unq, err := strconv.Unquote(s[:end])
+		if err != nil {
+			return nil, fmt.Errorf("want: %q: %v", s[:end], err)
+		}
+		out = append(out, unq)
+		s = s[end:]
+	}
+	return out, nil
+}
+
+// matchWant finds and consumes the first unmet expectation on the
+// diagnostic's line whose regexp matches the message.
+func matchWant(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return w
+		}
+	}
+	return nil
+}
+
+// findModuleDir walks up from the working directory to go.mod.
+func findModuleDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

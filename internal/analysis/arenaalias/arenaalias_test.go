@@ -1,0 +1,18 @@
+package arenaalias_test
+
+import (
+	"testing"
+
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/arenaalias"
+)
+
+func TestArenaAlias(t *testing.T) {
+	analysistest.Run(t, arenaalias.Analyzer, "arena")
+}
+
+// TestReceivePathRegressions replays the PR 3 zero-copy receive-path
+// footguns against the real replication and totem types.
+func TestReceivePathRegressions(t *testing.T) {
+	analysistest.Run(t, arenaalias.Analyzer, "arenaregress")
+}

@@ -1,0 +1,119 @@
+// Package arena exercises the arenaalias analyzer on self-contained
+// types brought into the arena/carrier sets with gwlint directives,
+// plus the //lint:allow escape hatch.
+package arena
+
+// view values alias the delivery arena wherever they appear, like
+// replication.HeaderView.
+//
+// gwlint:arena
+type view struct {
+	buf []byte
+	id  uint64
+}
+
+// parcel may carry borrowed memory across a channel hop, like
+// replication.task; its consumer must copy or decode promptly.
+//
+// gwlint:arena-carrier
+type parcel struct {
+	raw []byte
+}
+
+type keeper struct {
+	held []byte
+}
+
+var sink []byte
+
+func use([]byte) {}
+
+// Locals and call arguments are fine: the borrow stays inside the
+// callback, and callees are analyzed on their own.
+func ok(v view) {
+	b := v.buf
+	use(b)
+	use(v.buf)
+}
+
+// The sanctioned copy idiom comes out clean without special-casing:
+// append copies the bytes.
+func okCopy(v view) []byte {
+	return append([]byte(nil), v.buf...)
+}
+
+// Scalar fields are plain copies, not borrows.
+func okScalar(v view) uint64 {
+	return v.id
+}
+
+func storePackageVar(v view) {
+	sink = v.buf // want `stored in a package variable`
+}
+
+func storeField(v view, k *keeper) {
+	k.held = v.buf // want `stored in a struct field`
+}
+
+func storeElem(v view, m map[string][]byte) {
+	m["k"] = v.buf // want `stored in a map or slice element`
+}
+
+func storeDeref(v view, p *[]byte) {
+	*p = v.buf // want `stored in a dereferenced pointer`
+}
+
+func send(v view, ch chan []byte) {
+	ch <- v.buf // want `sent on a channel`
+}
+
+// Sending a declared carrier is the sanctioned handoff.
+func sendCarrier(v view, ch chan parcel) {
+	ch <- parcel{raw: v.buf}
+}
+
+// The consumer of a carrier holds the borrow again: a received parcel
+// is tainted by provenance, and with no declared field set every
+// reference-carrying field borrows.
+func receive(ch chan parcel) {
+	p := <-ch
+	sink = p.raw // want `stored in a package variable`
+}
+
+// A carrier rebuilt from copies is clean — the detach idiom.
+func detach(p parcel) parcel {
+	return parcel{raw: append([]byte(nil), p.raw...)}
+}
+
+func spawnArg(v view) {
+	go use(v.buf) // want `passed to a spawned goroutine`
+}
+
+func spawnCapture(v view) {
+	b := v.buf
+	go func() {
+		use(b) // want `goroutine captures delivery-arena memory`
+	}()
+}
+
+func leak(v view) []byte {
+	return v.buf // want `returning delivery-arena memory as a plain value`
+}
+
+// Returning the arena type itself is explicit: the caller sees the
+// borrow in the signature.
+func handoff(v view) view {
+	return v
+}
+
+// The escape hatch: a justified allow suppresses the finding on its own
+// line...
+func pinned(v view) {
+	sink = v.buf //lint:allow arenaalias the test pins one payload deliberately
+}
+
+// ...and a directive standing alone covers the line below.
+func pinnedBelow(v view) {
+	//lint:allow arenaalias standalone directive covers the next line
+	sink = v.buf
+}

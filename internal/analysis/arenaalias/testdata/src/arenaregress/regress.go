@@ -1,0 +1,52 @@
+// Package arenaregress replays the PR 3 receive-path aliasing footguns
+// against the real replication and totem types — including the holdback
+// retention this PR fixed in replication/replica.go — reconstructed
+// outside those packages so the corpus keeps failing if the default
+// arena set regresses.
+package arenaregress
+
+import (
+	"eternalgw/internal/replication"
+	"eternalgw/internal/totem"
+)
+
+// holdback replays the holdback-queue bug: appending the HeaderView's
+// borrowed payload into a long-lived slice pins the packed datagram's
+// arena for as long as the gap before it stays open.
+type holdback struct {
+	payloads [][]byte
+}
+
+func (h *holdback) retain(hv replication.HeaderView) {
+	h.payloads = append(h.payloads, hv.Payload) // want `stored in a struct field`
+}
+
+// requeue replays the same bug one level up: a Message materialized
+// from a view still aliases the delivery buffer.
+type requeue struct {
+	pending []replication.Message
+}
+
+func (q *requeue) push(hv replication.HeaderView) {
+	q.pending = append(q.pending, hv.Message()) // want `stored in a struct field`
+}
+
+var lastDelivery []byte
+
+func retainDelivery(d totem.Delivery) {
+	lastDelivery = d.Payload // want `stored in a package variable`
+}
+
+func forward(ev totem.Event, out chan []byte) {
+	out <- ev.Delivery.Payload // want `sent on a channel`
+}
+
+// The sanctioned shapes: copy before the callback returns, or hand the
+// borrow on in an arena type so the caller knows what it holds.
+func snapshot(d totem.Delivery) []byte {
+	return append([]byte(nil), d.Payload...)
+}
+
+func peek(d totem.Delivery) (replication.HeaderView, error) {
+	return replication.DecodeHeader(d.Payload)
+}

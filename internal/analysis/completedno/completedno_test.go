@@ -1,0 +1,12 @@
+package completedno_test
+
+import (
+	"testing"
+
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/completedno"
+)
+
+func TestCompletedNo(t *testing.T) {
+	analysistest.Run(t, completedno.Analyzer, "completed")
+}

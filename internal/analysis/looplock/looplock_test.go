@@ -1,0 +1,12 @@
+package looplock_test
+
+import (
+	"testing"
+
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/looplock"
+)
+
+func TestLoopLock(t *testing.T) {
+	analysistest.Run(t, looplock.Analyzer, "loop")
+}

@@ -1,0 +1,84 @@
+// Package loop exercises the looplock analyzer: functions rooted with
+// the gwlint:eventloop directive (standing in for the replication
+// datapath handlers) must not reach a blocking operation.
+package loop
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type state struct {
+	dir        sync.RWMutex
+	leaf       sync.Mutex
+	wg         sync.WaitGroup
+	unbuffered chan struct{}
+	buffered   chan struct{}
+}
+
+func newState() *state {
+	return &state{
+		unbuffered: make(chan struct{}),
+		buffered:   make(chan struct{}, 8),
+	}
+}
+
+// gwlint:eventloop
+func handler(s *state) {
+	time.Sleep(time.Millisecond) // want `time.Sleep on the replication event loop \(reachable via handler\)`
+	s.dir.Lock()                 // want `write-Lock of a sync.RWMutex`
+	s.wg.Wait()                  // want `sync\.WaitGroup\.Wait on the replication event loop`
+	helper(s)
+}
+
+// helper is not a root itself; it is reached through handler and the
+// report spells out the path.
+func helper(s *state) {
+	s.unbuffered <- struct{}{} // want `channel send may block the replication event loop \(reachable via handler → helper\)`
+}
+
+// gwlint:eventloop
+func dials() {
+	_, _ = net.Dial("tcp", "127.0.0.1:0") // want `net.Dial on the replication event loop`
+}
+
+// gwlint:eventloop
+func waits(s *state) {
+	select { // want `select without default may block`
+	case <-s.unbuffered:
+	}
+}
+
+// gwlint:eventloop
+func fine(s *state) {
+	// Short leaf-level mutex sections and read locks are the sharded
+	// tables' design; both are allowed.
+	s.leaf.Lock()
+	s.leaf.Unlock()
+	s.dir.RLock()
+	s.dir.RUnlock()
+	// Every make site of s.buffered has a constant capacity, so this
+	// send cannot block its single producer.
+	s.buffered <- struct{}{}
+	// A send that is the comm case of a select with default never
+	// blocks either.
+	select {
+	case s.unbuffered <- struct{}{}:
+	default:
+	}
+}
+
+// gwlint:eventloop
+func spawns(s *state) {
+	// The goroutine runs off the loop: nothing inside is reported.
+	go func() {
+		time.Sleep(time.Millisecond)
+		s.unbuffered <- struct{}{}
+	}()
+}
+
+// gwlint:eventloop
+func sanctioned() {
+	time.Sleep(time.Millisecond) //lint:allow looplock exercised only from the membership path, which may block
+}

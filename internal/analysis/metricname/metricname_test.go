@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, metricname.Analyzer, "metric")
+}

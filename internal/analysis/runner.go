@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// GlobalCheck is a whole-module pass run by the module-mode driver after
+// every package-local pass: cross-package invariants (a metric registered
+// twice in different packages, documentation drift against the full
+// registration set) live here. Unit (vettool) mode cannot run these — it
+// sees one package at a time — which is why `make lint` runs both modes.
+type GlobalCheck func(l *Loader, pkgs []*Package) []Diagnostic
+
+// RunModule is the standalone `gwlint ./...` entry point: load the
+// module rooted at dir, run every analyzer on every package, then the
+// global checks, print findings and return the process exit code.
+func RunModule(w io.Writer, dir string, patterns []string, analyzers []*Analyzer, globals []GlobalCheck) int {
+	l, pkgs, err := LoadModule(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwlint:", err)
+		return 1
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunAnalyzers(l.Fset, pkg.Files, pkg.Types, pkg.Info, l.ModuleDir, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gwlint:", err)
+			return 1
+		}
+		diags = append(diags, ds...)
+	}
+	for _, g := range globals {
+		diags = append(diags, g(l, pkgs)...)
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	PrintDiagnostics(w, l.Fset, diags)
+	return 2
+}

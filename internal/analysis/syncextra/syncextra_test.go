@@ -1,0 +1,12 @@
+package syncextra_test
+
+import (
+	"testing"
+
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/syncextra"
+)
+
+func TestSyncExtra(t *testing.T) {
+	analysistest.Run(t, syncextra.Analyzer, "syncx")
+}

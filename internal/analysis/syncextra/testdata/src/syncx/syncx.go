@@ -1,0 +1,102 @@
+// Package syncx exercises the syncextra analyzer: the gwlint:nocopy
+// directive puts lock-free ring types under copylocks-style rules, sync
+// primitives are covered transitively, and function-style sync/atomic
+// calls are rejected in favor of the typed atomics — with the 32-bit
+// misalignment called out when it is provable.
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ring has no locks — it is guarded by its shard's mutex — so stock
+// vet's copylocks says nothing about copying it; the directive does.
+//
+// gwlint:nocopy
+type ring struct {
+	buf  []uint64
+	head int
+}
+
+// table contains a mutex, so it is covered automatically, like vet.
+type table struct {
+	mu sync.Mutex
+	n  int
+}
+
+var t0 table
+
+func byValueParam(r ring) int { // want `parameter of no-copy type`
+	return r.head
+}
+
+func byValueResult(r *ring) (ring, bool) { // want `result of no-copy type`
+	return *r, true // want `return copies a value of no-copy type`
+}
+
+func assigns(r *ring) int {
+	cp := *r // want `assignment copies a value of no-copy type`
+	return cp.head
+}
+
+func ranges(rs []ring) int {
+	n := 0
+	for _, r := range rs { // want `range copies a value of no-copy type`
+		n += r.head
+	}
+	return n
+}
+
+func consume(any) {}
+
+func passes(r *ring) {
+	consume(*r) // want `call passes by value a value of no-copy type`
+}
+
+func snapshot() table { // want `result of no-copy type`
+	return t0 // want `return copies a value of no-copy type`
+}
+
+// Pointers are always fine.
+func viaPointer(r *ring) *ring {
+	return r
+}
+
+// counters mixes a 32-bit field before a 64-bit one: under GOARCH=386
+// layout the uint64 lands at offset 4, which is the crash the typed
+// atomics exist to prevent.
+type counters struct {
+	flag uint32
+	n    uint64
+}
+
+func bumpMisaligned(c *counters) {
+	atomic.AddUint64(&c.n, 1) // want `function-style sync/atomic call AddUint64.*crashes on 386/arm`
+}
+
+type aligned struct {
+	n uint64
+}
+
+func bumpAligned(a *aligned) {
+	atomic.AddUint64(&a.n, 1) // want `function-style sync/atomic call AddUint64`
+}
+
+func load32(c *counters) uint32 {
+	return atomic.LoadUint32(&c.flag) // want `function-style sync/atomic call LoadUint32`
+}
+
+// The typed atomics are the sanctioned API; nothing to report.
+type modern struct {
+	n atomic.Uint64
+}
+
+func bumpTyped(m *modern) uint64 {
+	return m.n.Add(1)
+}
+
+// The escape hatch applies here too.
+func sanctioned(c *counters) {
+	atomic.AddUint32(&c.flag, 1) //lint:allow syncextra interop with a cgo counter that predates the typed atomics
+}

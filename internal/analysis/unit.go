@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// VetConfig mirrors the JSON configuration cmd/go writes for a vettool
+// (the unitchecker protocol): one build unit, with imports resolved to
+// the export files the build already produced.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit is the `go vet -vettool` entry point: read the vet.cfg named
+// by cfgPath, analyze the unit, print findings vet-style to stderr and
+// return the process exit code (0 clean, 2 findings, 1 internal error).
+func RunUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwlint:", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "gwlint: parsing", cfgPath+":", err)
+		return 1
+	}
+	// cmd/go runs the tool over dependencies purely to collect facts
+	// (VetxOnly) and over the per-package test units; this suite keeps
+	// package-local invariants about non-test code, so both cases are
+	// no-ops. The vetx file must still appear for the cache.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+	if cfg.VetxOnly || strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gwlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := &unitImporter{cfg: &cfg}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup).(types.ImporterFrom)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "gwlint:", err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(fset, files, tpkg, info, findModuleDir(cfg.Dir), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwlint:", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	PrintDiagnostics(os.Stderr, fset, diags)
+	return 2
+}
+
+// unitImporter resolves the unit's imports: source import paths map
+// through ImportMap to canonical paths, whose export files cmd/go listed
+// in PackageFile.
+type unitImporter struct {
+	cfg *VetConfig
+	gc  types.ImporterFrom
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if canon, ok := u.cfg.ImportMap[path]; ok {
+		path = canon
+	}
+	return u.gc.ImportFrom(path, "", 0)
+}
+
+func (u *unitImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := u.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no package file for %q", path)
+	}
+	return os.Open(file)
+}
+
+// findModuleDir walks up from dir to the enclosing go.mod.
+func findModuleDir(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+// PrintDiagnostics renders findings vet-style, sorted by position.
+func PrintDiagnostics(w io.Writer, fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

@@ -45,6 +45,19 @@ import (
 // (admission.Verdict.Minor; see docs/OPERATIONS.md for the contract).
 const repoIDTransient = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 
+// Minor codes for the system exceptions the gateway itself fabricates
+// (shed replies carry admission.Verdict.Minor instead). Documented in
+// docs/OPERATIONS.md; the completedno analyzer rejects bare literals
+// here so every code stays in that table.
+const (
+	// minorUnknownObjectKey: OBJECT_NOT_EXIST — the request's object key
+	// matches no replicated group at this gateway.
+	minorUnknownObjectKey uint32 = 0
+	// minorInvokeFailed: COMM_FAILURE — conveying the request through
+	// the fault tolerance domain failed or timed out.
+	minorInvokeFailed uint32 = 0
+)
+
 // Errors reported by the gateway.
 var ErrClosed = errors.New("gateway: closed")
 
@@ -560,7 +573,7 @@ func (g *Gateway) serveConn(nc net.Conn, host string) {
 				cc.writeReplyRaw(msg, req, giop.Reply{
 					RequestID: req.RequestID,
 					Status:    giop.ReplySystemException,
-					Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 0, 0),
+					Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", minorUnknownObjectKey, giop.CompletedNo),
 				})
 				continue
 			}
@@ -722,7 +735,7 @@ func (cc *clientConn) handleRequest(msg giop.Message, req giop.Request, arrived 
 			cc.writeReplyRaw(msg, req, giop.Reply{
 				RequestID: req.RequestID,
 				Status:    giop.ReplySystemException,
-				Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/COMM_FAILURE:1.0", 0, 1),
+				Result:    giop.SystemExceptionBody(msg.Header.Order, "IDL:omg.org/CORBA/COMM_FAILURE:1.0", minorInvokeFailed, giop.CompletedNo),
 			})
 			gw.tracer.Event(tkey, obs.StageReplyWrite, "gateway-exception")
 		}
@@ -766,7 +779,7 @@ func (cc *clientConn) shedReply(msg giop.Message, req giop.Request, v admission.
 	cc.writeReplyRaw(msg, req, giop.Reply{
 		RequestID: req.RequestID,
 		Status:    giop.ReplySystemException,
-		Result:    giop.SystemExceptionBody(msg.Header.Order, repoIDTransient, v.Minor(), 1),
+		Result:    giop.SystemExceptionBody(msg.Header.Order, repoIDTransient, v.Minor(), giop.CompletedNo),
 	})
 }
 

@@ -98,6 +98,20 @@ func (s ReplyStatus) String() string {
 	}
 }
 
+// Completion status values for system-exception bodies (CORBA
+// completion_status). The distinction carries the §3.3 exactly-once
+// contract to the client: COMPLETED_NO promises the request never
+// entered the total order so a retry is always safe, COMPLETED_MAYBE
+// says the outcome is genuinely unknown, COMPLETED_YES says the target
+// ran. Every SystemExceptionBody call must pass one of these named
+// constants — the completedno analyzer (cmd/gwlint) rejects bare
+// literals and checks the status against the exception's repository ID.
+const (
+	CompletedYes   uint32 = 0
+	CompletedNo    uint32 = 1
+	CompletedMaybe uint32 = 2
+)
+
 // LocateStatus is the GIOP locate reply status enumeration.
 type LocateStatus uint32
 

@@ -51,6 +51,13 @@ const (
 	RepoTransient = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 )
 
+// minorNoSuchObject is the OBJECT_NOT_EXIST minor code for a request
+// whose object key matches no servant in the adapter (documented in
+// docs/OPERATIONS.md).
+const (
+	minorNoSuchObject uint32 = 0
+)
+
 // Servant handles invocations on one object. Implementations decode
 // in-parameters from args and encode results into reply. Returning an
 // error produces a CORBA system exception at the client.

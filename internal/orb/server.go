@@ -275,7 +275,7 @@ func DispatchRequest(s *Server, req giop.Request) giop.Reply {
 		return giop.Reply{
 			RequestID: req.RequestID,
 			Status:    giop.ReplySystemException,
-			Result:    giop.SystemExceptionBody(req.ArgsOrder, RepoObjectNotExist, 0, 0),
+			Result:    giop.SystemExceptionBody(req.ArgsOrder, RepoObjectNotExist, minorNoSuchObject, giop.CompletedNo),
 		}
 	}
 	return InvokeServant(sv, req)
@@ -295,7 +295,7 @@ func InvokeServant(sv Servant, req giop.Request) giop.Reply {
 		return giop.Reply{
 			RequestID:   req.RequestID,
 			Status:      giop.ReplySystemException,
-			Result:      giop.SystemExceptionBody(req.ArgsOrder, repoID, minor, 0),
+			Result:      giop.SystemExceptionBody(req.ArgsOrder, repoID, minor, giop.CompletedYes),
 			ResultOrder: req.ArgsOrder,
 		}
 	}

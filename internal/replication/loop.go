@@ -12,6 +12,13 @@ import (
 // itself encodes.
 const giopOrder = cdr.BigEndian
 
+// minorNoAgreement is the NO_AGREEMENT minor code raised when every
+// replica answered a voting invocation without a majority (documented
+// in docs/OPERATIONS.md). The request did execute — the copies merely
+// disagree — so it travels with COMPLETED_MAYBE: the outcome is
+// unknown and a blind retry is not known to be safe.
+const minorNoAgreement uint32 = 0
+
 // run consumes the totem event stream. It is the only goroutine that
 // mutates the group directory; replica executors receive work through
 // their task queues in delivery order, which preserves the total order
@@ -423,7 +430,7 @@ func (m *Mechanisms) deliverVotingResponse(hv HeaderView, sh *pendingShard, key 
 			c.ch <- pendingResult{rep: giop.Reply{
 				RequestID: rep.RequestID,
 				Status:    giop.ReplySystemException,
-				Result:    giop.SystemExceptionBody(giopOrder, "IDL:eternalgw/NO_AGREEMENT:1.0", 0, 0),
+				Result:    giop.SystemExceptionBody(giopOrder, "IDL:eternalgw/NO_AGREEMENT:1.0", minorNoAgreement, giop.CompletedMaybe),
 			}}
 			delivered = true
 			continue

@@ -44,9 +44,24 @@ type task struct {
 	joiner  memnet.NodeID
 }
 
+// detach returns a copy of the task whose msg payload and raw bytes no
+// longer alias the delivery buffer, safe to retain indefinitely. Tasks
+// that merely flow through the queue are consumed promptly and skip
+// this copy; anything buffered past the delivery cycle (the holdback
+// list) must detach first — the arenaalias analyzer enforces it.
+func (t task) detach() task {
+	t.msg.Payload = append([]byte(nil), t.msg.Payload...)
+	t.raw = append([]byte(nil), t.raw...)
+	return t
+}
+
 // taskQueue is an unbounded FIFO. The event loop must never block on a
 // replica whose application is slow (or blocked in a nested invocation),
 // so pushes always succeed.
+//
+// gwlint:arena-carrier — queued tasks may alias the delivery buffer;
+// the consumer decodes or copies each task promptly and never retains
+// one past its turn (holdback buffering detaches first).
 type taskQueue struct {
 	mu     sync.Mutex
 	items  []task
@@ -166,8 +181,12 @@ func (r *replica) handle(t task) {
 	case taskInvoke:
 		if !r.synced.Load() {
 			// State has not arrived yet: hold invocations back; they
-			// replay in order once the transfer is applied.
-			r.holdback = append(r.holdback, t)
+			// replay in order once the transfer is applied. The wait is
+			// unbounded, so the task must stop aliasing the delivery
+			// buffer — holding it raw would pin every packed datagram
+			// arena touched until the state transfer lands (and reads
+			// reused memory if arenas are ever pooled).
+			r.holdback = append(r.holdback, t.detach())
 			return
 		}
 		r.handleInvoke(t)
