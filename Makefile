@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check soak bench bench-baseline bench-compare clean
+.PHONY: build test vet lint race check soak soak-reconfig bench bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,16 @@ lint:
 	$(GO) vet -vettool=$(CURDIR)/bin/gwlint ./...
 	./bin/gwlint ./...
 
+# race runs the whole test suite under the race detector. (It was a
+# recipe-less phony target for a while, which made `make check` pass
+# without running any tests.)
+race:
+	$(GO) test -race -timeout 15m ./...
+
 # check is the full verification gate: static analysis plus the whole
-# test suite under the race detector.
-check: vet lint race
+# test suite under the race detector, plus the reconfiguration soak at
+# a higher repetition count than one `go test` pass gives it.
+check: vet lint race soak-reconfig
 
 # soak slams one admission-controlled gateway at 4x its configured
 # in-flight window under the race detector while fault injection slows
@@ -32,6 +39,15 @@ check: vet lint race
 SOAK_COUNT ?= 1
 soak:
 	$(GO) test -race -run TestGatewayOverloadSoak -count $(SOAK_COUNT) -timeout 10m -v .
+
+# soak-reconfig rolling-upgrades a degree-3 active group and churns the
+# gateway set while thin clients run at full load under the race
+# detector (reconfig_soak_test.go): the online-reconfiguration
+# acceptance gate — exactly-once, one total order, checkpointed
+# catch-up, and IOR-driven gateway failover.
+SOAK_RECONFIG_COUNT ?= 3
+soak-reconfig:
+	$(GO) test -race -run TestReconfigRollingUpgradeSoak -count $(SOAK_RECONFIG_COUNT) -timeout 10m -v .
 
 # bench runs the datapath throughput suite (round trips, multi-client
 # load, packing on/off ablation) with the same methodology as the

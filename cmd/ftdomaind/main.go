@@ -17,8 +17,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -139,6 +141,9 @@ type runOpts struct {
 	// onReady, when non-nil, is called with the gateway addresses once
 	// the domain is serving.
 	onReady func(addrs []string)
+	// onObs, when non-nil, is called with the ops server's address once
+	// it is serving (tests use it to reach the admin endpoints).
+	onObs func(addr string)
 }
 
 // admissionConfig translates the admission flags into a config template,
@@ -188,6 +193,12 @@ func run(o runOpts) error {
 		Nodes:     nodes,
 		Log:       obs.NewLogger(os.Stderr, obs.ParseLevel(o.logLevel)),
 		Admission: o.admissionConfig(),
+		// Whenever the gateway set changes (admin surface add/remove),
+		// print the re-stitched references so operators can hand the new
+		// profile list to clients that do not watch the name service.
+		OnIORUpdate: func(objectKey []byte, ref ior.Ref) {
+			fmt.Printf("republished IOR for %q:\n%s\n", objectKey, ref.String())
+		},
 	}
 	if cfg.Admission != nil {
 		fmt.Printf("admission control: max-conns=%d max-conns-per-client=%d rate=%g inflight=%d\n",
@@ -245,15 +256,16 @@ func run(o runOpts) error {
 		})
 	}
 
+	demoFactory := func() (replication.Application, error) {
+		return &experiments.RegisterApp{}, nil
+	}
 	err = d.Manager().CreateReplicatedObject(demoGroup, ftmgmt.Properties{
 		Style:           style,
 		InitialReplicas: replicas,
 		MinReplicas:     replicas,
 		ObjectKey:       []byte(demoKey),
 		TypeID:          demoType,
-	}, func() (replication.Application, error) {
-		return &experiments.RegisterApp{}, nil
-	})
+	}, demoFactory)
 	if err != nil {
 		return err
 	}
@@ -326,12 +338,21 @@ func run(o runOpts) error {
 		nodes, replicas, style, demoKey, gateways)
 	fmt.Printf("object reference:\n%s\n", ref.String())
 	fmt.Printf("name service reference (demo object bound as %q):\n%s\n", demoName, nsRef.String())
+	drainTimeout := o.drainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = 5 * time.Second
+	}
 	if ops != nil {
+		registerAdmin(ops, d, demoFactory, drainTimeout)
+		fmt.Printf("reconfiguration admin on http://%s/reconfig/ (views grow shrink replace upgrade gateway/add gateway/remove)\n", ops.Addr())
 		ops.SetReady(true)
 	}
 	fmt.Println("serving; interrupt to stop")
 	if o.onReady != nil {
 		o.onReady(gwAddrs)
+	}
+	if o.onObs != nil && ops != nil {
+		o.onObs(ops.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -349,10 +370,6 @@ func run(o runOpts) error {
 		ops.SetReady(false)
 	}
 	fmt.Println("draining gateways")
-	drainTimeout := o.drainTimeout
-	if drainTimeout <= 0 {
-		drainTimeout = 5 * time.Second
-	}
 	var wg sync.WaitGroup
 	for _, gw := range d.Gateways() {
 		wg.Add(1)
@@ -364,4 +381,147 @@ func run(o runOpts) error {
 	wg.Wait()
 	fmt.Println("shutting down")
 	return nil
+}
+
+// registerAdmin mounts the online-reconfiguration admin surface on the
+// ops server. All mutating endpoints are POST; responses are plain text.
+// The upgrade endpoint performs a rolling restart of the group onto
+// fresh instances from the demo factory (each replacement catches up by
+// checkpoint + log replay), which is the daemon-level stand-in for
+// deploying a new application build.
+func registerAdmin(ops *obs.Server, d *domain.Domain, factory ftmgmt.Factory, drainTimeout time.Duration) {
+	mgr := d.Manager()
+
+	groupOf := func(r *http.Request) (replication.GroupID, error) {
+		raw := r.FormValue("group")
+		if raw == "" {
+			return demoGroup, nil
+		}
+		id, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad group %q: %w", raw, err)
+		}
+		return replication.GroupID(id), nil
+	}
+	post := func(fn func(w http.ResponseWriter, r *http.Request)) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fn(w, r)
+		})
+	}
+	writeView := func(w http.ResponseWriter, id replication.GroupID, v replication.View) {
+		fmt.Fprintf(w, "group %d: view %d at seq %d, %d members %v\n",
+			id, v.Number, v.Seq, len(v.Members), v.Members)
+	}
+
+	ops.Handle("/reconfig/views", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rm := d.Node(0).RM
+		for _, id := range rm.Groups() {
+			if v, ok := rm.View(id); ok {
+				writeView(w, id, v)
+			}
+		}
+	}))
+	ops.Handle("/reconfig/grow", post(func(w http.ResponseWriter, r *http.Request) {
+		id, err := groupOf(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := mgr.Grow(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeView(w, id, v)
+	}))
+	ops.Handle("/reconfig/shrink", post(func(w http.ResponseWriter, r *http.Request) {
+		id, err := groupOf(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := mgr.Shrink(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeView(w, id, v)
+	}))
+	ops.Handle("/reconfig/replace", post(func(w http.ResponseWriter, r *http.Request) {
+		id, err := groupOf(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		node := r.FormValue("node")
+		if node == "" {
+			http.Error(w, "node parameter required", http.StatusBadRequest)
+			return
+		}
+		v, err := mgr.Replace(id, memnet.NodeID(node))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeView(w, id, v)
+	}))
+	ops.Handle("/reconfig/upgrade", post(func(w http.ResponseWriter, r *http.Request) {
+		id, err := groupOf(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := mgr.RollingUpgrade(id, factory)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeView(w, id, v)
+	}))
+	ops.Handle("/reconfig/gateway/add", post(func(w http.ResponseWriter, r *http.Request) {
+		node := 0
+		if raw := r.FormValue("node"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 || n >= d.Nodes() {
+				http.Error(w, fmt.Sprintf("bad node %q (have %d)", raw, d.Nodes()), http.StatusBadRequest)
+				return
+			}
+			node = n
+		}
+		gw, err := d.AddGateway(node, r.FormValue("addr"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "gateway listening on %s (node %d); references republished\n", gw.Addr(), node)
+	}))
+	ops.Handle("/reconfig/gateway/remove", post(func(w http.ResponseWriter, r *http.Request) {
+		addr := r.FormValue("addr")
+		var target *core.Gateway
+		for _, gw := range d.Gateways() {
+			if gw.Addr() == addr {
+				target = gw
+				break
+			}
+		}
+		if target == nil {
+			http.Error(w, fmt.Sprintf("no gateway listening on %q", addr), http.StatusNotFound)
+			return
+		}
+		if len(d.Gateways()) == 1 {
+			http.Error(w, "refusing to remove the last gateway", http.StatusConflict)
+			return
+		}
+		if err := d.RemoveGateway(target, drainTimeout); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "gateway %s drained and removed; references republished\n", addr)
+	}))
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -81,5 +85,97 @@ func TestGracefulShutdownDrainsGateways(t *testing.T) {
 	if c, err := orb.Dial(addrs[0]); err == nil {
 		_ = c.Close()
 		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+func TestAdminReconfigEndpoints(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan []string, 1)
+	obsReady := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(runOpts{
+			nodes: 3, replicas: 2, gateways: 2, styleStr: "active",
+			logLevel: "error", drainTimeout: 2 * time.Second,
+			obsAddr: "127.0.0.1:0",
+			stop:    stop,
+			onReady: func(addrs []string) { ready <- addrs },
+			onObs:   func(addr string) { obsReady <- addr },
+		})
+	}()
+	defer func() {
+		close(stop)
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	var admin string
+	var gwAddrs []string
+	select {
+	case admin = <-obsReady:
+		gwAddrs = <-ready
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("domain never became ready")
+	}
+
+	post := func(path string, wantCode int) string {
+		t.Helper()
+		resp, err := http.Post("http://"+admin+path, "", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantCode {
+			t.Fatalf("POST %s = %d (%s), want %d", path, resp.StatusCode, body, wantCode)
+		}
+		return string(body)
+	}
+
+	// Grow the demo group onto the spare node, then shrink back.
+	if out := post("/reconfig/grow?group=100", http.StatusOK); !strings.Contains(out, "3 members") {
+		t.Fatalf("grow response: %q", out)
+	}
+	if out := post("/reconfig/shrink?group=100", http.StatusOK); !strings.Contains(out, "2 members") {
+		t.Fatalf("shrink response: %q", out)
+	}
+	// Below the minimum the shrink is refused.
+	post("/reconfig/shrink?group=100", http.StatusInternalServerError)
+
+	// Rolling upgrade keeps the group at its degree.
+	if out := post("/reconfig/upgrade?group=100", http.StatusOK); !strings.Contains(out, "2 members") {
+		t.Fatalf("upgrade response: %q", out)
+	}
+
+	// Views are listed for every group.
+	resp, err := http.Get("http://" + admin + "/reconfig/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if !strings.Contains(string(body), "group 100") {
+		t.Fatalf("views response: %q", body)
+	}
+
+	// Gateway churn through the admin surface: add one, then retire one
+	// of the originals (its profile is republished away before it drains).
+	out := post("/reconfig/gateway/add?node=2", http.StatusOK)
+	if !strings.Contains(out, "listening on") {
+		t.Fatalf("gateway add response: %q", out)
+	}
+	out = post("/reconfig/gateway/remove?addr="+url.QueryEscape(gwAddrs[0]), http.StatusOK)
+	if !strings.Contains(out, "drained and removed") {
+		t.Fatalf("gateway remove response: %q", out)
+	}
+	post("/reconfig/gateway/remove?addr="+url.QueryEscape(gwAddrs[0]), http.StatusNotFound)
+	// Mutating endpoints reject GET.
+	if resp, err := http.Get("http://" + admin + "/reconfig/grow"); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET grow = %d, want 405", resp.StatusCode)
+		}
+		_ = resp.Body.Close()
 	}
 }

@@ -14,6 +14,7 @@ package domain
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"eternalgw/internal/admission"
@@ -72,6 +73,14 @@ type Config struct {
 	// Log, when set, gives the domain's components a leveled logger;
 	// each layer tags lines with its own component.
 	Log *obs.Logger
+	// OnIORUpdate, when set, is called with the object key and the
+	// freshly stitched reference each time the domain republishes the
+	// references it has handed out because the gateway set changed
+	// (AddGateway, RemoveGateway). Enhanced thin clients feed the new
+	// reference to RefreshProfiles so they fail over onto the surviving
+	// profile set (paper section 3.5). Called from the reconfiguring
+	// goroutine; keep it quick.
+	OnIORUpdate func(objectKey []byte, ref ior.Ref)
 }
 
 // Node is one processor of the domain.
@@ -86,12 +95,15 @@ type Domain struct {
 	Name string
 	Net  *memnet.Network
 
-	cfg      Config
-	nodes    []*Node
-	manager  *ftmgmt.Manager
-	gateways []*core.Gateway
-	gwNode   map[*core.Gateway]int
-	closed   bool
+	cfg     Config
+	nodes   []*Node
+	manager *ftmgmt.Manager
+	closed  bool
+
+	mu        sync.Mutex // guards gateways, gwNode, published
+	gateways  []*core.Gateway
+	gwNode    map[*core.Gateway]int
+	published map[string]string // object key -> type id, for republishing
 }
 
 // New builds and starts a domain with cfg.Nodes processors.
@@ -106,10 +118,11 @@ func New(cfg Config) (*Domain, error) {
 		cfg.GatewayGroup = DefaultGatewayGroup
 	}
 	d := &Domain{
-		Name:   cfg.Name,
-		Net:    memnet.New(cfg.NetOptions...),
-		cfg:    cfg,
-		gwNode: make(map[*core.Gateway]int),
+		Name:      cfg.Name,
+		Net:       memnet.New(cfg.NetOptions...),
+		cfg:       cfg,
+		gwNode:    make(map[*core.Gateway]int),
+		published: make(map[string]string),
 	}
 	ids := make([]memnet.NodeID, cfg.Nodes)
 	for i := range ids {
@@ -183,6 +196,8 @@ func (d *Domain) Manager() *ftmgmt.Manager { return d.manager }
 
 // Gateways returns the domain's gateways in creation order.
 func (d *Domain) Gateways() []*core.Gateway {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return append([]*core.Gateway(nil), d.gateways...)
 }
 
@@ -226,9 +241,58 @@ func (d *Domain) AddGatewayAdmission(i int, addr string, ac *admission.Config) (
 		_ = gw.Close()
 		return nil, err
 	}
+	d.mu.Lock()
 	d.gateways = append(d.gateways, gw)
 	d.gwNode[gw] = i
+	d.mu.Unlock()
+	d.republishAll()
 	return gw, nil
+}
+
+// RemoveGateway retires a gateway from the domain's edge under live
+// traffic. The published references are re-stitched without it first, so
+// enhanced clients learn the surviving profile set before the gateway
+// goes away; the gateway then drains its in-flight invocations under
+// drainTimeout (zero means 5s) and hands its remaining clients over with
+// a GIOP CloseConnection, after which their reissued invocations are
+// answered by the redundant gateways from the group's record. If the
+// gateway was the last one on its processor, the processor's client
+// membership in the gateway group is released.
+func (d *Domain) RemoveGateway(gw *core.Gateway, drainTimeout time.Duration) error {
+	d.mu.Lock()
+	idx, ok := d.gwNode[gw]
+	if !ok {
+		d.mu.Unlock()
+		return errors.New("domain: gateway is not part of this domain")
+	}
+	delete(d.gwNode, gw)
+	kept := make([]*core.Gateway, 0, len(d.gateways)-1)
+	for _, g := range d.gateways {
+		if g != gw {
+			kept = append(kept, g)
+		}
+	}
+	d.gateways = kept
+	lastOnNode := true
+	for _, i := range d.gwNode {
+		if i == idx {
+			lastOnNode = false
+			break
+		}
+	}
+	d.mu.Unlock()
+
+	d.republishAll()
+	if drainTimeout <= 0 {
+		drainTimeout = 5 * time.Second
+	}
+	err := gw.Drain(drainTimeout)
+	if lastOnNode {
+		if lerr := d.nodes[idx].RM.LeaveGroup(d.cfg.GatewayGroup); lerr != nil && err == nil {
+			err = lerr
+		}
+	}
+	return err
 }
 
 // PublishIOR builds the reference external clients use to reach the
@@ -236,6 +300,21 @@ func (d *Domain) AddGatewayAdmission(i int, addr string, ac *admission.Config) (
 // gateways, one profile per gateway in failover order (paper sections
 // 3.1 and 3.5).
 func (d *Domain) PublishIOR(typeID string, objectKey []byte) (ior.Ref, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ref, err := d.stitchLocked(typeID, objectKey)
+	if err != nil {
+		return ior.Ref{}, err
+	}
+	// Remember what was handed out so the reference can be re-stitched
+	// when the gateway set changes.
+	d.published[string(objectKey)] = typeID
+	return ref, nil
+}
+
+// stitchLocked builds a reference from the current gateway set. Callers
+// hold mu.
+func (d *Domain) stitchLocked(typeID string, objectKey []byte) (ior.Ref, error) {
 	if len(d.gateways) == 0 {
 		return ior.Ref{}, errors.New("domain: no gateways to publish")
 	}
@@ -253,14 +332,46 @@ func (d *Domain) PublishIOR(typeID string, objectKey []byte) (ior.Ref, error) {
 	), nil
 }
 
+// republishAll re-stitches every published reference against the current
+// gateway set and hands each to the OnIORUpdate hook.
+func (d *Domain) republishAll() {
+	if d.cfg.OnIORUpdate == nil {
+		return
+	}
+	type update struct {
+		key string
+		ref ior.Ref
+	}
+	d.mu.Lock()
+	updates := make([]update, 0, len(d.published))
+	for key, typeID := range d.published {
+		ref, err := d.stitchLocked(typeID, []byte(key))
+		if err != nil {
+			continue // no gateways left; publish again once one is added
+		}
+		updates = append(updates, update{key: key, ref: ref})
+	}
+	d.mu.Unlock()
+	// The hook runs outside mu so it may call back into the domain.
+	for _, u := range updates {
+		d.cfg.OnIORUpdate([]byte(u.key), u.ref)
+	}
+}
+
 // CrashNode simulates a processor failure: its network endpoint goes
 // silent and any gateways it hosts drop their connections.
 func (d *Domain) CrashNode(i int) {
 	d.Net.Crash(d.nodes[i].ID)
+	d.mu.Lock()
+	var closing []*core.Gateway
 	for gw, idx := range d.gwNode {
 		if idx == i {
-			_ = gw.Close()
+			closing = append(closing, gw)
 		}
+	}
+	d.mu.Unlock()
+	for _, gw := range closing {
+		_ = gw.Close()
 	}
 }
 
@@ -279,7 +390,7 @@ func (d *Domain) Close() {
 	if d.manager != nil {
 		d.manager.Close()
 	}
-	for _, gw := range d.gateways {
+	for _, gw := range d.Gateways() {
 		_ = gw.Close()
 	}
 	for _, n := range d.nodes {

@@ -314,3 +314,106 @@ func TestPublishedIORCarriesDomainComponents(t *testing.T) {
 		t.Fatalf("domain tag = %q, %v", name, ok)
 	}
 }
+
+func TestRemoveGatewayRepublishesAndReleasesMembership(t *testing.T) {
+	updates := make(chan ior.Ref, 8)
+	d, err := domain.New(domain.Config{
+		Name:                 "rgw",
+		Nodes:                3,
+		Totem:                fastTotem(),
+		GatewayInvokeTimeout: 5 * time.Second,
+		OnIORUpdate: func(objectKey []byte, ref ior.Ref) {
+			if string(objectKey) != "app/adder" {
+				t.Errorf("update for unexpected key %q", objectKey)
+			}
+			updates <- ref
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	err = d.Manager().CreateReplicatedObject(77, ftmgmt.Properties{
+		Style:           replication.Active,
+		InitialReplicas: 2,
+		MinReplicas:     1,
+		ObjectKey:       []byte("app/adder"),
+	}, func() (replication.Application, error) { return &adderApp{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwA, err := d.AddGateway(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwB, err := d.AddGateway(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PublishIOR("IDL:eternalgw/Adder:1.0", []byte("app/adder")); err != nil {
+		t.Fatal(err)
+	}
+	// Adding a gateway after PublishIOR republishes with both profiles.
+	gwC, err := d.AddGateway(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := <-updates
+	profiles, err := ref.IIOPProfiles()
+	if err != nil || len(profiles) != 3 {
+		t.Fatalf("profiles after add = %d (%v), want 3", len(profiles), err)
+	}
+
+	// Removing one republishes without its profile before it drains.
+	removedAddr := gwA.Addr()
+	if err := d.RemoveGateway(gwA, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ref = <-updates
+	profiles, err = ref.IIOPProfiles()
+	if err != nil || len(profiles) != 2 {
+		t.Fatalf("profiles after remove = %d (%v), want 2", len(profiles), err)
+	}
+	for _, p := range profiles {
+		if p.Addr() == removedAddr {
+			t.Fatalf("removed gateway %s still published", removedAddr)
+		}
+	}
+
+	// Node 1 hosted only gwA: its client membership in the gateway group
+	// is released. Node 2 still hosts gwC, so it stays.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		members := d.Node(0).RM.Members(domain.DefaultGatewayGroup)
+		var hasN1, hasN2 bool
+		for _, m := range members {
+			if m == d.Node(1).ID {
+				hasN1 = true
+			}
+			if m == d.Node(2).ID {
+				hasN2 = true
+			}
+		}
+		if !hasN1 && hasN2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway group members = %v, want %s out and %s in",
+				members, d.Node(1).ID, d.Node(2).ID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Removing a foreign gateway is rejected.
+	if err := d.RemoveGateway(gwA, time.Second); err == nil {
+		t.Fatal("second remove of the same gateway succeeded")
+	}
+	_ = gwB
+	if err := d.RemoveGateway(gwC, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Gateways()); got != 1 {
+		t.Fatalf("gateways left = %d, want 1", got)
+	}
+}

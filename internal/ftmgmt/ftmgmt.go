@@ -15,18 +15,26 @@
 // driving the per-node replication mechanisms directly, which preserves
 // their observable behaviour (placement, replacement, live upgrade) at
 // laptop scale (see DESIGN.md section 2).
+//
+// The managers are policy: they decide which groups exist, what their
+// factories are, and when membership must change. The mechanics of a
+// membership change — ordered view installation, checkpoint + log-replay
+// state transfer, placement on the least loaded host — live in
+// internal/reconfig, whose Coordinator the managers drive for initial
+// placement, failure replacement, elasticity (Grow/Shrink/Replace) and
+// live upgrades alike.
 package ftmgmt
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eternalgw/internal/memnet"
 	"eternalgw/internal/obs"
+	"eternalgw/internal/reconfig"
 	"eternalgw/internal/replication"
 )
 
@@ -35,6 +43,7 @@ var (
 	ErrNoHosts      = errors.New("ftmgmt: no hosts available")
 	ErrUnknownGroup = errors.New("ftmgmt: group not managed")
 	ErrBadProps     = errors.New("ftmgmt: invalid fault tolerance properties")
+	ErrMinReplicas  = errors.New("ftmgmt: shrink would violate the minimum replica count")
 )
 
 // Properties are the user-specified fault tolerance properties of one
@@ -73,6 +82,7 @@ type Manager struct {
 	mu     sync.Mutex
 	hosts  []Host
 	groups map[replication.GroupID]*managedGroup
+	coord  *reconfig.Coordinator
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -95,9 +105,19 @@ func NewManager(hosts ...Host) *Manager {
 		done:        make(chan struct{}),
 		syncTimeout: 10 * time.Second,
 	}
+	coordHosts := make([]reconfig.Host, len(hosts))
+	for i, h := range hosts {
+		coordHosts[i] = reconfig.Host(h)
+	}
+	m.coord = reconfig.New(m.syncTimeout, coordHosts...)
 	close(m.done) // no monitor running yet
 	return m
 }
+
+// Coordinator returns the reconfiguration coordinator the managers drive;
+// callers needing raw membership operations (e.g. an admin surface) can
+// use it directly.
+func (m *Manager) Coordinator() *reconfig.Coordinator { return m.coord }
 
 // Instrument connects the managers to the observability subsystem:
 // replacement and upgrade counters plus a per-group replica-count gauge
@@ -115,6 +135,7 @@ func (m *Manager) Instrument(reg *obs.Registry, log *obs.Logger) {
 		reg.CounterFunc("eternalgw_ftmgmt_upgrades_total",
 			"Live upgrades completed by the Evolution Manager.", nil, m.upgrades.Load)
 	}
+	m.coord.Instrument(reg, log)
 }
 
 // registerGroupGauge publishes the live replica count of one managed
@@ -133,20 +154,24 @@ func (m *Manager) registerGroupGauge(id replication.GroupID) {
 // AddHost makes a processor available for placement.
 func (m *Manager) AddHost(h Host) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, existing := range m.hosts {
 		if existing.ID == h.ID {
+			m.mu.Unlock()
 			return
 		}
 	}
 	m.hosts = append(m.hosts, h)
+	m.mu.Unlock()
+	m.coord.AddHost(reconfig.Host(h))
 }
 
 // RemoveHost withdraws a processor from placement decisions (it does not
-// stop replicas already running there).
+// stop replicas already running there) and immediately runs a Resource
+// Manager pass: a host is usually withdrawn because it failed, and any
+// group that lost a replica with it must be repaired now, not at the
+// next Monitor tick.
 func (m *Manager) RemoveHost(id memnet.NodeID) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	kept := m.hosts[:0]
 	for _, h := range m.hosts {
 		if h.ID != id {
@@ -154,6 +179,9 @@ func (m *Manager) RemoveHost(id memnet.NodeID) {
 		}
 	}
 	m.hosts = kept
+	m.mu.Unlock()
+	m.coord.RemoveHost(id)
+	m.reconcile()
 }
 
 // anyRM returns some host's mechanisms for domain-wide queries.
@@ -164,49 +192,6 @@ func (m *Manager) anyRM() (*replication.Mechanisms, error) {
 		return nil, ErrNoHosts
 	}
 	return m.hosts[0].RM, nil
-}
-
-// load counts replicas placed on each host across managed groups.
-func (m *Manager) load() map[memnet.NodeID]int {
-	out := make(map[memnet.NodeID]int)
-	rm, err := m.anyRM()
-	if err != nil {
-		return out
-	}
-	m.mu.Lock()
-	ids := make([]replication.GroupID, 0, len(m.groups))
-	for id := range m.groups {
-		ids = append(ids, id)
-	}
-	m.mu.Unlock()
-	for _, id := range ids {
-		for _, node := range rm.Members(id) {
-			out[node]++
-		}
-	}
-	return out
-}
-
-// placement returns hosts ordered by ascending load (ties by id),
-// excluding the given members.
-func (m *Manager) placement(exclude map[memnet.NodeID]bool) []Host {
-	loads := m.load()
-	m.mu.Lock()
-	hosts := append([]Host(nil), m.hosts...)
-	m.mu.Unlock()
-	var out []Host
-	for _, h := range hosts {
-		if !exclude[h.ID] {
-			out = append(out, h)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if loads[out[i].ID] != loads[out[j].ID] {
-			return loads[out[i].ID] < loads[out[j].ID]
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
 }
 
 // CreateReplicatedObject is the Replication Manager's entry point: it
@@ -244,30 +229,14 @@ func (m *Manager) CreateReplicatedObject(id replication.GroupID, props Propertie
 }
 
 // placeOne starts one replica of the group on the least loaded host that
-// does not already have one.
+// does not already have one, waiting until it has caught up by state
+// transfer.
 func (m *Manager) placeOne(id replication.GroupID, factory Factory) error {
-	rm, err := m.anyRM()
-	if err != nil {
-		return err
+	_, err := m.coord.AddReplica(id, reconfig.Factory(factory))
+	if errors.Is(err, reconfig.ErrNoHosts) {
+		return ErrNoHosts
 	}
-	exclude := make(map[memnet.NodeID]bool)
-	for _, node := range rm.Members(id) {
-		exclude[node] = true
-	}
-	for _, h := range m.placement(exclude) {
-		app, err := factory()
-		if err != nil {
-			return fmt.Errorf("ftmgmt: factory for group %d: %w", id, err)
-		}
-		if err := h.RM.JoinGroup(id, app); err != nil {
-			continue // e.g. a racing join; try the next host
-		}
-		if err := h.RM.WaitSynced(id, m.syncTimeout); err != nil {
-			return fmt.Errorf("ftmgmt: replica of group %d on %s: %w", id, h.ID, err)
-		}
-		return nil
-	}
-	return ErrNoHosts
+	return err
 }
 
 // Monitor starts the Resource Manager loop: every interval it compares
@@ -317,53 +286,86 @@ func (m *Manager) reconcile() {
 	}
 }
 
-// Upgrade is the Evolution Manager's entry point: it replaces every
-// replica of the group with instances from the new factory, one at a
-// time, exploiting state transfer so the object stays available and its
-// state carries over. The new application must accept the old
-// application's state encoding.
-func (m *Manager) Upgrade(id replication.GroupID, factory Factory) error {
+// managed returns the managed-group record for id.
+func (m *Manager) managed(id replication.GroupID) (*managedGroup, error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	g, ok := m.groups[id]
 	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("group %d: %w", id, ErrUnknownGroup)
+		return nil, fmt.Errorf("group %d: %w", id, ErrUnknownGroup)
 	}
-	g.factory = factory
-	m.mu.Unlock()
+	return g, nil
+}
 
+// Grow adds one replica of the managed group, built from its current
+// factory, on the least loaded spare host.
+func (m *Manager) Grow(id replication.GroupID) (replication.View, error) {
+	g, err := m.managed(id)
+	if err != nil {
+		return replication.View{}, err
+	}
+	return m.coord.Grow(id, reconfig.Factory(g.factory))
+}
+
+// Shrink evicts the group's newest replica, refusing to go below the
+// group's minimum replica count (the Resource Manager would immediately
+// undo such a shrink anyway).
+func (m *Manager) Shrink(id replication.GroupID) (replication.View, error) {
+	g, err := m.managed(id)
+	if err != nil {
+		return replication.View{}, err
+	}
 	rm, err := m.anyRM()
 	if err != nil {
-		return err
+		return replication.View{}, err
 	}
-	old := rm.Members(id)
-	if len(old) == 0 {
-		return fmt.Errorf("group %d: %w: no live replicas to upgrade", id, ErrUnknownGroup)
+	if live := len(rm.Members(id)); live <= g.props.MinReplicas {
+		return replication.View{}, fmt.Errorf("group %d: %d live, minimum %d: %w",
+			id, live, g.props.MinReplicas, ErrMinReplicas)
 	}
-	hostByID := make(map[memnet.NodeID]Host)
-	m.mu.Lock()
-	for _, h := range m.hosts {
-		hostByID[h.ID] = h
-	}
-	m.mu.Unlock()
+	return m.coord.Shrink(id)
+}
 
-	for _, node := range old {
-		// Start the upgraded replica first so the group never shrinks
-		// below its pre-upgrade size, then retire the old one.
-		if err := m.placeOne(id, factory); err != nil {
-			return fmt.Errorf("ftmgmt: upgrade group %d: place: %w", id, err)
-		}
-		h, ok := hostByID[node]
-		if !ok {
-			continue // host withdrew; its replica is already gone
-		}
-		if err := h.RM.LeaveGroup(id); err != nil {
-			return fmt.Errorf("ftmgmt: upgrade group %d: retire %s: %w", id, node, err)
-		}
+// Replace swaps one replica of the managed group for a fresh instance
+// from its current factory, carrying state over by checkpoint + log
+// replay.
+func (m *Manager) Replace(id replication.GroupID, old memnet.NodeID) (replication.View, error) {
+	g, err := m.managed(id)
+	if err != nil {
+		return replication.View{}, err
+	}
+	return m.coord.Replace(id, old, reconfig.Factory(g.factory))
+}
+
+// RollingUpgrade is the Evolution Manager's entry point: it replaces
+// every replica of the group with instances from the new factory, one at
+// a time, exploiting checkpoint + log-replay state transfer so the
+// object stays available and its state carries over — including on a
+// fully packed domain, where each old replica is retired first and its
+// host reused. The new application must accept the old application's
+// state encoding.
+func (m *Manager) RollingUpgrade(id replication.GroupID, factory Factory) (replication.View, error) {
+	g, err := m.managed(id)
+	if err != nil {
+		return replication.View{}, err
+	}
+	m.mu.Lock()
+	g.factory = factory
+	m.mu.Unlock()
+	v, err := m.coord.RollingUpgrade(id, reconfig.Factory(factory))
+	if err != nil {
+		return v, fmt.Errorf("ftmgmt: upgrade group %d: %w", id, err)
 	}
 	m.upgrades.Add(1)
-	m.log.Infof("group %d: live upgrade complete, %d replicas replaced", id, len(old))
-	return nil
+	m.log.Infof("group %d: live upgrade complete, %d replicas (view %d)", id, len(v.Members), v.Number)
+	return v, nil
+}
+
+// Upgrade is the historical name of RollingUpgrade, kept for callers of
+// the original Evolution Manager interface.
+func (m *Manager) Upgrade(id replication.GroupID, factory Factory) error {
+	_, err := m.RollingUpgrade(id, factory)
+	return err
 }
 
 // Properties returns the managed properties of a group.

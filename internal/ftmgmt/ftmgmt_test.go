@@ -299,3 +299,133 @@ func contains(list []memnet.NodeID, v memnet.NodeID) bool {
 	}
 	return false
 }
+
+func TestRemoveHostRepairsImmediately(t *testing.T) {
+	// A withdrawn host usually means a failed host: RemoveHost must run
+	// a Resource Manager pass itself instead of leaving the group
+	// under-replicated until the next Monitor tick (the monitor is
+	// deliberately not started here).
+	d := fastDomain(t, 4)
+	if err := d.Manager().CreateReplicatedObject(grpObj, props(replication.Active, 2, 2), factoryV(1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := invoke(t, d, 3, 1, "bump"); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := d.Node(3).RM.Members(grpObj)[0]
+	for i := 0; i < d.Nodes(); i++ {
+		if d.Node(i).ID == crashed {
+			d.CrashNode(i)
+			break
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for contains(d.Node(3).RM.Members(grpObj), crashed) {
+		if time.Now().After(deadline) {
+			t.Fatalf("failure never detected: %v", d.Node(3).RM.Members(grpObj))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	d.Manager().RemoveHost(crashed)
+	// No polling: the repair happened inside RemoveHost.
+	alive := d.Node(3).RM.Members(grpObj)
+	if len(alive) < 2 || contains(alive, crashed) {
+		t.Fatalf("members after RemoveHost = %v, want 2 live without %s", alive, crashed)
+	}
+	r, err := invoke(t, d, 3, 2, "bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReadLongLong(); got != 2 {
+		t.Fatalf("ops after repair = %d, want 2", got)
+	}
+}
+
+func TestElasticGrowShrink(t *testing.T) {
+	d := fastDomain(t, 3)
+	if err := d.Manager().CreateReplicatedObject(grpObj, props(replication.Active, 2, 2), factoryV(1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Manager().Grow(grpObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Members) != 3 {
+		t.Fatalf("members after grow = %v, want 3", v.Members)
+	}
+	v, err = d.Manager().Shrink(grpObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Members) != 2 {
+		t.Fatalf("members after shrink = %v, want 2", v.Members)
+	}
+	if _, err := d.Manager().Shrink(grpObj); !errors.Is(err, ftmgmt.ErrMinReplicas) {
+		t.Fatalf("shrink below minimum: err = %v, want ErrMinReplicas", err)
+	}
+	if _, err := d.Manager().Grow(54321); !errors.Is(err, ftmgmt.ErrUnknownGroup) {
+		t.Fatalf("grow unknown group: err = %v, want ErrUnknownGroup", err)
+	}
+}
+
+func TestReplaceCarriesState(t *testing.T) {
+	d := fastDomain(t, 3)
+	if err := d.Manager().CreateReplicatedObject(grpObj, props(replication.Active, 2, 1), factoryV(1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := invoke(t, d, 2, 1, "bump"); err != nil {
+		t.Fatal(err)
+	}
+	old := d.Node(2).RM.Members(grpObj)[0]
+	v, err := d.Manager().Replace(grpObj, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Members) != 2 || contains(v.Members, old) {
+		t.Fatalf("members after replace = %v, want 2 without %s", v.Members, old)
+	}
+	r, err := invoke(t, d, 2, 2, "bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReadLongLong(); got != 2 {
+		t.Fatalf("ops after replace = %d, want 2", got)
+	}
+}
+
+func TestUpgradePackedDomainCarriesState(t *testing.T) {
+	// Every host already runs a replica: the upgrade must retire each
+	// old replica first and reuse its host, with the survivor donating
+	// state by checkpoint + log replay.
+	d := fastDomain(t, 2)
+	if err := d.Manager().CreateReplicatedObject(grpObj, props(replication.Active, 2, 1), factoryV(1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := invoke(t, d, 0, uint32(i), "bump"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Manager().Upgrade(grpObj, factoryV(2, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if members := d.Node(0).RM.Members(grpObj); len(members) != 2 {
+		t.Fatalf("members after packed upgrade = %v, want 2", members)
+	}
+	r, err := invoke(t, d, 0, 4, "version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReadLongLong(); got != 2 {
+		t.Fatalf("version after packed upgrade = %d, want 2", got)
+	}
+	r, err = invoke(t, d, 0, 5, "bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReadLongLong(); got != 4 {
+		t.Fatalf("ops after packed upgrade = %d, want 4", got)
+	}
+}

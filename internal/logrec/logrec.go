@@ -86,12 +86,21 @@ func (l *Log) Checkpoint(g uint32, cp Checkpoint) {
 	gl.entries = kept
 }
 
-// Append records one invocation for group g.
+// Append records one invocation for group g, copying e.Data so the
+// caller's buffer may be reused.
 func (l *Log) Append(g uint32, e Entry) {
+	e.Data = append([]byte(nil), e.Data...)
+	l.AppendOwned(g, e)
+}
+
+// AppendOwned records one invocation for group g, taking ownership of
+// e.Data: the caller must not reuse or mutate the slice afterwards. The
+// replication datapath uses it to log a copy it already made, avoiding
+// Append's second copy.
+func (l *Log) AppendOwned(g uint32, e Entry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	gl := l.group(g)
-	e.Data = append([]byte(nil), e.Data...)
 	gl.entries = append(gl.entries, e)
 }
 

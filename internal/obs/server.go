@@ -30,6 +30,9 @@ type Server struct {
 	wg   sync.WaitGroup
 	once sync.Once
 
+	muxOnce sync.Once
+	mux     *http.ServeMux
+
 	ready atomic.Bool
 
 	mu       sync.Mutex
@@ -85,23 +88,38 @@ func NewHandlerOpts(reg *Registry, tracer *Tracer, opts ServerOptions) *Server {
 	return &Server{reg: reg, tracer: tracer, opts: opts, start: time.Now()}
 }
 
-// Handler returns the ops mux (usable directly with httptest).
+// Handler returns the ops mux (usable directly with httptest). The mux
+// is built once and stored, so routes registered later through Handle
+// are served by listeners already using it.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/statusz", s.handleStatusz)
-	if s.opts.Pprof {
-		// Explicit registrations on this mux; the package-level handlers
-		// net/http/pprof installs on http.DefaultServeMux are not served.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	return mux
+	s.muxOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/readyz", s.handleReadyz)
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/statusz", s.handleStatusz)
+		if s.opts.Pprof {
+			// Explicit registrations on this mux; the package-level handlers
+			// net/http/pprof installs on http.DefaultServeMux are not served.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		s.mux = mux
+	})
+	return s.mux
+}
+
+// Handle registers an additional route on the ops mux — the extension
+// point embedding processes use to mount admin surfaces (e.g. online
+// reconfiguration) next to the probes. Safe to call while the server is
+// serving; it follows http.ServeMux semantics, including panicking on a
+// duplicate pattern.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	_ = s.Handler() // ensure the stored mux exists
+	s.mux.Handle(pattern, h)
 }
 
 // Addr returns the listen address (empty for handler-only servers).

@@ -1,18 +1,26 @@
 package replication
 
-import "testing"
+import (
+	"testing"
+
+	"eternalgw/internal/logrec"
+	"eternalgw/internal/memnet"
+)
 
 // FuzzDecode feeds arbitrary bytes through the infrastructure message
 // decoder and every payload decoder.
 func FuzzDecode(f *testing.F) {
 	f.Add(Encode(Message{Header: Header{Kind: KindInvocation, ClientID: 1, SrcGroup: 2, DstGroup: 3, Op: OperationID{ParentTS: 4, ChildSeq: 5}}, Payload: []byte("x")}))
 	f.Add(encodeCreateGroup(createGroupPayload{Style: Active, ObjectKey: []byte("k")}))
-	f.Add(encodeState(statePayload{Target: "n", JoinTS: 1, OpCount: 2, State: []byte("s")}))
+	f.Add(encodeState(statePayload{Target: "n", JoinTS: 1, OpCount: 2, State: []byte("s"),
+		CpSeq: 1, Entries: []logrec.Entry{{Seq: 2, Data: []byte("e")}}}))
+	f.Add(encodeViewChange(viewChangePayload{Add: []memnet.NodeID{"a"}, Remove: []memnet.NodeID{"b"}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if msg, err := Decode(data); err == nil {
 			_, _ = decodeCreateGroup(msg.Payload)
 			_, _ = decodeMember(msg.Payload)
 			_, _ = decodeState(msg.Payload)
+			_, _ = decodeViewChange(msg.Payload)
 		}
 	})
 }

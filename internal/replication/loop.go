@@ -70,11 +70,13 @@ func (m *Mechanisms) handleDelivery(d totem.Delivery) {
 	ts := d.Timestamp()
 	switch hv.Header.Kind {
 	case KindCreateGroup:
-		m.deliverCreateGroup(hv.Message())
+		m.deliverCreateGroup(hv.Message(), ts)
 	case KindJoinGroup:
 		m.deliverJoin(hv.Message(), ts)
 	case KindLeaveGroup:
-		m.deliverLeave(hv.Message())
+		m.deliverLeave(hv.Message(), ts)
+	case KindViewChange:
+		m.deliverViewChange(hv.Message(), ts)
 	case KindInvocation:
 		m.deliverInvocation(hv, d.Payload, ts)
 	case KindResponse:
@@ -87,6 +89,8 @@ func (m *Mechanisms) handleDelivery(d totem.Delivery) {
 		m.deliverGatewayControl(hv.Message(), ts)
 	case KindDeleteGroup:
 		m.deliverDeleteGroup(hv.Message())
+	case KindMembershipSync:
+		m.deliverMembershipSync(hv.Message())
 	}
 }
 
@@ -122,7 +126,7 @@ func (m *Mechanisms) deliverGatewayControl(msg Message, ts uint64) {
 	m.observe(g, msg, ts)
 }
 
-func (m *Mechanisms) deliverCreateGroup(msg Message) {
+func (m *Mechanisms) deliverCreateGroup(msg Message, ts uint64) {
 	p, err := decodeCreateGroup(msg.Payload)
 	if err != nil {
 		return
@@ -138,11 +142,60 @@ func (m *Mechanisms) deliverCreateGroup(msg Message) {
 		style:        p.Style,
 		objectKey:    string(p.ObjectKey),
 		pendingJoins: make(map[memnet.NodeID]uint64),
+		view:         1, // the empty group is view 1
+		viewSeq:      ts,
 	}
 	if len(p.ObjectKey) > 0 {
 		m.byKey[string(p.ObjectKey)] = id
 	}
 	m.notifyChanged()
+}
+
+// bumpView installs the next numbered view of a group after a membership
+// change applied at total-order position seq. Callers hold mu.
+func (m *Mechanisms) bumpView(g *groupState, seq uint64) {
+	g.view++
+	g.viewSeq = seq
+	m.viewChanges.Add(1)
+}
+
+// addMember applies one join to the group directory: the membership slot,
+// the local replica activation when the joiner is this node, the
+// pending-join record and the donor's state-capture task. It reports
+// whether the membership changed (a self-join that was never prearmed is
+// rolled back for safety). Callers hold mu.
+func (m *Mechanisms) addMember(g *groupState, node memnet.NodeID, ts uint64) bool {
+	g.members = append(g.members, node)
+	first := len(g.members) == 1
+
+	if node == m.cfg.NodeID {
+		app, armed := m.prearmed[g.id]
+		if !armed {
+			// A join we never prearmed (e.g. replayed from before a
+			// restart): ignore the membership slot for safety.
+			g.removeMember(node)
+			return false
+		}
+		delete(m.prearmed, g.id)
+		r := newReplica(m, g.id, g.style, app)
+		g.local = r
+		// The first member and client-only members need no state
+		// transfer.
+		if first || app == nil {
+			r.synced.Store(true)
+		} else {
+			g.pendingJoins[node] = ts
+		}
+	} else if g.local != nil && g.local.app != nil && !first {
+		g.pendingJoins[node] = ts
+	}
+
+	// The donor (current primary) captures state for a joining servant.
+	if !first && len(g.members) > 0 && g.members[0] == m.cfg.NodeID &&
+		g.local != nil && g.local.app != nil && node != m.cfg.NodeID {
+		g.local.push(task{kind: taskCaptureState, joiner: node, ts: ts})
+	}
+	return true
 }
 
 func (m *Mechanisms) deliverJoin(msg Message, ts uint64) {
@@ -156,42 +209,14 @@ func (m *Mechanisms) deliverJoin(msg Message, ts uint64) {
 	if !ok || g.isMember(p.Node) {
 		return
 	}
-	g.members = append(g.members, p.Node)
-	first := len(g.members) == 1
-
-	if p.Node == m.cfg.NodeID {
-		app, armed := m.prearmed[g.id]
-		if !armed {
-			// A join we never prearmed (e.g. replayed from before a
-			// restart): ignore the membership slot for safety.
-			g.removeMember(p.Node)
-			m.notifyChanged()
-			return
-		}
-		delete(m.prearmed, g.id)
-		r := newReplica(m, g.id, g.style, app)
-		g.local = r
-		// The first member and client-only members need no state
-		// transfer.
-		if first || app == nil {
-			r.synced.Store(true)
-		} else {
-			g.pendingJoins[p.Node] = ts
-		}
-	} else if g.local != nil && g.local.app != nil && !first {
-		g.pendingJoins[p.Node] = ts
+	if m.addMember(g, p.Node, ts) {
+		m.bumpView(g, ts)
+		m.updatePrimary(g)
 	}
-
-	// The donor (current primary) captures state for a joining servant.
-	if !first && len(g.members) > 0 && g.members[0] == m.cfg.NodeID &&
-		g.local != nil && g.local.app != nil && p.Node != m.cfg.NodeID {
-		g.local.push(task{kind: taskCaptureState, joiner: p.Node, ts: ts})
-	}
-	m.updatePrimary(g)
 	m.notifyChanged()
 }
 
-func (m *Mechanisms) deliverLeave(msg Message) {
+func (m *Mechanisms) deliverLeave(msg Message, ts uint64) {
 	p, err := decodeMember(msg.Payload)
 	if err != nil {
 		return
@@ -208,15 +233,67 @@ func (m *Mechanisms) deliverLeave(msg Message) {
 		g.local.close()
 		g.local = nil
 	}
+	m.bumpView(g, ts)
 	m.updatePrimary(g)
 	m.retriggerTransfers(g)
+	m.notifyChanged()
+}
+
+// deliverViewChange applies a membership delta: evictions first, then
+// joins (a replace delta frees the evicted slot before the joiner lands).
+// Like every membership change it is delivered in total order, so every
+// member installs the same numbered view at the same sequence number.
+func (m *Mechanisms) deliverViewChange(msg Message, ts uint64) {
+	p, err := decodeViewChange(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[msg.Header.DstGroup]
+	if !ok {
+		return
+	}
+	changed := false
+	for _, node := range p.Remove {
+		if !g.isMember(node) {
+			continue
+		}
+		g.removeMember(node)
+		delete(g.pendingJoins, node)
+		if node == m.cfg.NodeID && g.local != nil {
+			g.local.close()
+			g.local = nil
+		}
+		changed = true
+	}
+	for _, node := range p.Add {
+		if g.isMember(node) {
+			continue
+		}
+		if m.addMember(g, node, ts) {
+			changed = true
+		}
+	}
+	if changed {
+		m.bumpView(g, ts)
+		m.updatePrimary(g)
+		m.retriggerTransfers(g)
+	}
 	m.notifyChanged()
 }
 
 // handleConfig reacts to a totem membership change: nodes that left the
 // ring are removed from every group, at a single point in the total
 // order, so all survivors agree on the resulting memberships and on who
-// is promoted.
+// is promoted. When the change is a merge (a healed partition brought
+// nodes back), the two sides' directories have diverged — the majority
+// component evicted the absentees and repaired around them, while the
+// minority evicted everyone else and kept executing on state that then
+// went stale. The minority side therefore discards its replicas at the
+// merge point, before any post-merge invocation can reach them, and the
+// majority side broadcasts its directory for the returning nodes to
+// adopt (primary-component membership, paper section 2.4).
 func (m *Mechanisms) handleConfig(c totem.ConfigChange) {
 	inRing := make(map[memnet.NodeID]bool, len(c.Members))
 	for _, id := range c.Members {
@@ -224,6 +301,22 @@ func (m *Mechanisms) handleConfig(c totem.ConfigChange) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	prev := m.ring
+	m.ring = append([]memnet.NodeID(nil), c.Members...)
+	m.ringID = c.RingID
+	merged := false
+	if len(prev) > 0 {
+		was := make(map[memnet.NodeID]bool, len(prev))
+		for _, id := range prev {
+			was[id] = true
+		}
+		for _, id := range c.Members {
+			if !was[id] {
+				merged = true
+				break
+			}
+		}
+	}
 	for _, g := range m.groups {
 		changed := false
 		for _, node := range append([]memnet.NodeID(nil), g.members...) {
@@ -234,9 +327,150 @@ func (m *Mechanisms) handleConfig(c totem.ConfigChange) {
 			}
 		}
 		if changed {
+			// Failure-driven view change: every survivor installs the new
+			// ring at the same point in the total order, so the ring
+			// identifier stands in for the membership message's timestamp.
+			m.bumpView(g, c.RingID)
 			m.updatePrimary(g)
 			m.retriggerTransfers(g)
 		}
+	}
+	if merged {
+		if fromMajority(prev, c.Members) {
+			if payload := m.directorySyncLocked(c.RingID); payload != nil {
+				// Multicast can block on the send queue; it must leave the
+				// event loop. The snapshot was taken under mu at the merge
+				// point, so every majority node sends identical content and
+				// the first delivery wins.
+				go func() {
+					_ = m.multicast(Message{
+						Header:  Header{Kind: KindMembershipSync, ClientID: UnusedClientID},
+						Payload: payload,
+					})
+				}()
+			}
+		} else {
+			m.discardStaleReplicasLocked(c.RingID)
+		}
+	}
+	m.notifyChanged()
+}
+
+// fromMajority reports whether the previous ring was the majority
+// component of the merged ring — the side whose directory survives a
+// partition healing. An exact half keeps the component holding the
+// merged ring's lowest node identifier, a tiebreak both sides can
+// compute from what they know.
+func fromMajority(prev, merged []memnet.NodeID) bool {
+	if len(prev)*2 > len(merged) {
+		return true
+	}
+	if len(prev)*2 < len(merged) {
+		return false
+	}
+	low := merged[0]
+	for _, id := range merged[1:] {
+		if id < low {
+			low = id
+		}
+	}
+	for _, id := range prev {
+		if id == low {
+			return true
+		}
+	}
+	return false
+}
+
+// discardStaleReplicasLocked drops every local servant replica on a node
+// returning from a minority partition: its state missed the operations
+// the majority executed, so it must not answer post-merge invocations.
+// Running at the merge configuration — before any post-merge delivery —
+// closes the window in which a stale replica could respond. The catch-up
+// log goes with it (a stale checkpoint must never be donated), and the
+// node rejoins groups only through the resource manager's normal
+// placement, with a fresh state transfer. Callers hold mu.
+func (m *Mechanisms) discardStaleReplicasLocked(seq uint64) {
+	for _, g := range m.groups {
+		if g.local == nil || g.local.app == nil {
+			continue
+		}
+		g.local.close()
+		g.local = nil
+		g.removeMember(m.cfg.NodeID)
+		for node := range g.pendingJoins {
+			delete(g.pendingJoins, node)
+		}
+		m.log.Drop(uint32(g.id))
+		m.bumpView(g, seq)
+	}
+}
+
+// directorySyncLocked snapshots the group directory as an encoded
+// membership-sync payload, or returns nil when there is nothing to
+// share. Callers hold mu.
+func (m *Mechanisms) directorySyncLocked(ringID uint64) []byte {
+	if len(m.groups) == 0 {
+		return nil
+	}
+	p := membershipSyncPayload{RingID: ringID}
+	for _, g := range m.groups {
+		p.Groups = append(p.Groups, syncGroup{
+			ID:        g.id,
+			Style:     g.style,
+			ObjectKey: []byte(g.objectKey),
+			View:      g.view,
+			ViewSeq:   g.viewSeq,
+			Members:   append([]memnet.NodeID(nil), g.members...),
+		})
+	}
+	return encodeMembershipSync(p)
+}
+
+// deliverMembershipSync adopts the majority component's directory after
+// a ring merge. It is delivered in total order, so every node applies
+// the same snapshot at the same point; on the nodes that were already in
+// the majority it is a no-op by content. Only the first sync for the
+// current ring applies — later ones for the same ring are the identical
+// snapshots of other majority nodes, and syncs for older rings are
+// stale.
+func (m *Mechanisms) deliverMembershipSync(msg Message) {
+	p, err := decodeMembershipSync(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p.RingID != m.ringID || p.RingID <= m.syncApplied {
+		return
+	}
+	m.syncApplied = p.RingID
+	m.membershipSyncs.Add(1)
+	for _, sg := range p.Groups {
+		g, ok := m.groups[sg.ID]
+		if !ok {
+			g = &groupState{
+				id:           sg.ID,
+				style:        sg.Style,
+				objectKey:    string(sg.ObjectKey),
+				pendingJoins: make(map[memnet.NodeID]uint64),
+			}
+			m.groups[sg.ID] = g
+			if g.objectKey != "" {
+				m.byKey[g.objectKey] = sg.ID
+			}
+		}
+		g.members = append(g.members[:0], sg.Members...)
+		g.view = sg.View
+		g.viewSeq = sg.ViewSeq
+		if g.local != nil && !g.isMember(m.cfg.NodeID) {
+			// The majority evicted this node while it was away; whatever
+			// membership it thinks it holds is void.
+			g.local.close()
+			g.local = nil
+			m.log.Drop(uint32(g.id))
+		}
+		m.updatePrimary(g)
 	}
 	m.notifyChanged()
 }

@@ -40,6 +40,12 @@ type groupState struct {
 	// pendingJoins tracks joiners awaiting state transfer: node -> the
 	// totem timestamp of their join.
 	pendingJoins map[memnet.NodeID]uint64
+	// view numbers this group's membership views; viewSeq is the
+	// total-order position the current view was installed at. Both are
+	// bumped by the event loop at every membership change, so all members
+	// agree on (view, members) at every point in the message stream.
+	view    uint64
+	viewSeq uint64
 }
 
 func (g *groupState) isMember(id memnet.NodeID) bool {
@@ -109,6 +115,16 @@ type Mechanisms struct {
 	observers map[GroupID]Observer
 	changed   chan struct{} // closed and replaced on directory change
 
+	// ring is the current totem ring's membership and ringID its
+	// identifier, tracked so a configuration change can tell a merge (new
+	// nodes appeared) from a departure, and which side of a healed
+	// partition this node was on. syncApplied is the highest ring whose
+	// membership sync has been adopted. All three are loop-owned, under
+	// mu.
+	ring        []memnet.NodeID
+	ringID      uint64
+	syncApplied uint64
+
 	// pending is the sharded pending-call table plus the early-discard
 	// done-set, outside mu entirely: response delivery and Invoke
 	// registration meet only on a shard lock.
@@ -131,6 +147,12 @@ type Mechanisms struct {
 	checkpoints             atomic.Uint64
 	failovers               atomic.Uint64
 	replayedInvocations     atomic.Uint64
+	viewChanges             atomic.Uint64
+	transfersCheckpointed   atomic.Uint64
+	transfersFullState      atomic.Uint64
+	transferEntriesReplayed atomic.Uint64
+	catchupCheckpoints      atomic.Uint64
+	membershipSyncs         atomic.Uint64
 }
 
 // New creates the replication mechanisms over a running totem node and
@@ -184,6 +206,12 @@ func (m *Mechanisms) registerMetrics(reg *obs.Registry) {
 		{"eternalgw_replication_checkpoints_total", "Cold-passive checkpoints written.", m.checkpoints.Load},
 		{"eternalgw_replication_failovers_total", "Passive-group failovers performed.", m.failovers.Load},
 		{"eternalgw_replication_replayed_invocations_total", "Invocations re-executed during failover.", m.replayedInvocations.Load},
+		{"eternalgw_replication_view_changes_total", "Group membership views installed (joins, leaves, evictions, failures).", m.viewChanges.Load},
+		{"eternalgw_replication_transfers_checkpointed_total", "State donations served as checkpoint plus log replay.", m.transfersCheckpointed.Load},
+		{"eternalgw_replication_transfers_full_state_total", "State donations that fell back to a full state capture.", m.transfersFullState.Load},
+		{"eternalgw_replication_transfer_entries_replayed_total", "Logged invocations replayed by joining replicas catching up from a checkpoint.", m.transferEntriesReplayed.Load},
+		{"eternalgw_replication_catchup_checkpoints_total", "Local checkpoints written into the catch-up log by executing replicas.", m.catchupCheckpoints.Load},
+		{"eternalgw_replication_membership_syncs_total", "Authoritative directory snapshots adopted after a ring merge (partition healing).", m.membershipSyncs.Load},
 	} {
 		reg.CounterFunc(c.name, c.help, lbl, c.fn)
 	}
@@ -272,6 +300,12 @@ func (m *Mechanisms) Stats() Stats {
 		Checkpoints:             m.checkpoints.Load(),
 		Failovers:               m.failovers.Load(),
 		ReplayedInvocations:     m.replayedInvocations.Load(),
+		ViewChanges:             m.viewChanges.Load(),
+		TransfersCheckpointed:   m.transfersCheckpointed.Load(),
+		TransfersFullState:      m.transfersFullState.Load(),
+		TransferEntriesReplayed: m.transferEntriesReplayed.Load(),
+		CatchupCheckpoints:      m.catchupCheckpoints.Load(),
+		MembershipSyncs:         m.membershipSyncs.Load(),
 	}
 }
 
@@ -359,6 +393,53 @@ func (m *Mechanisms) Members(id GroupID) []memnet.NodeID {
 	out := make([]memnet.NodeID, len(g.members))
 	copy(out, g.members)
 	return out
+}
+
+// View returns the group's current membership view.
+func (m *Mechanisms) View(id GroupID) (View, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	g, ok := m.groups[id]
+	if !ok {
+		return View{}, false
+	}
+	v := View{Number: g.view, Seq: g.viewSeq, Members: make([]memnet.NodeID, len(g.members))}
+	copy(v.Members, g.members)
+	return v, true
+}
+
+// Groups lists the identifiers of every object group in the directory.
+func (m *Mechanisms) Groups() []GroupID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]GroupID, 0, len(m.groups))
+	for id := range m.groups {
+		out = append(out, id)
+	}
+	return out
+}
+
+// EvictMembers removes nodes from a group through one totally-ordered
+// view change, without the evicted nodes' cooperation: the resource
+// manager's shrink and replace operations use it to retire replicas
+// (the cooperative exit is LeaveGroup). Evicting a non-member is a
+// delivered no-op.
+func (m *Mechanisms) EvictMembers(id GroupID, nodes ...memnet.NodeID) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	return m.multicast(Message{
+		Header:  Header{Kind: KindViewChange, ClientID: UnusedClientID, DstGroup: id},
+		Payload: encodeViewChange(viewChangePayload{Remove: nodes}),
+	})
+}
+
+// WaitForView blocks until the group's view number reaches at least n.
+func (m *Mechanisms) WaitForView(id GroupID, n uint64, timeout time.Duration) error {
+	return m.waitCondition(timeout, func() bool {
+		g, ok := m.groups[id]
+		return ok && g.view >= n
+	})
 }
 
 // waitCondition blocks until cond (evaluated under mu) holds.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"eternalgw/internal/logrec"
 	"eternalgw/internal/memnet"
 )
 
@@ -50,17 +51,66 @@ func TestQuickDecodeNeverPanics(t *testing.T) {
 	}
 }
 
-// TestQuickStatePayloadRoundTrip property: state transfer payloads
-// survive their codec.
+// TestQuickStatePayloadRoundTrip property: state transfer payloads —
+// including the checkpoint sequence number and replay entries of the
+// catch-up transfer path — survive their codec.
 func TestQuickStatePayloadRoundTrip(t *testing.T) {
-	f := func(target string, joinTS, opCount uint64, state []byte) bool {
+	f := func(target string, joinTS, opCount, cpSeq uint64, state, e1, e2 []byte) bool {
 		target = stripNULs(target)
-		p := statePayload{Target: memnetNodeID(target), JoinTS: joinTS, OpCount: opCount, State: state}
+		p := statePayload{
+			Target: memnetNodeID(target), JoinTS: joinTS, OpCount: opCount, State: state,
+			CpSeq:   cpSeq,
+			Entries: []logrec.Entry{{Seq: cpSeq + 1, Data: e1}, {Seq: cpSeq + 2, Data: e2}},
+		}
 		got, err := decodeState(encodeState(p))
 		if err != nil {
 			return false
 		}
-		return got.Target == p.Target && got.JoinTS == joinTS && got.OpCount == opCount && bytes.Equal(got.State, state)
+		if got.Target != p.Target || got.JoinTS != joinTS || got.OpCount != opCount ||
+			!bytes.Equal(got.State, state) || got.CpSeq != cpSeq || len(got.Entries) != 2 {
+			return false
+		}
+		for i, e := range p.Entries {
+			if got.Entries[i].Seq != e.Seq || !bytes.Equal(got.Entries[i].Data, e.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickViewChangeRoundTrip property: view-change membership deltas
+// survive their codec.
+func TestQuickViewChangeRoundTrip(t *testing.T) {
+	f := func(add, remove []string) bool {
+		var p viewChangePayload
+		for _, n := range add {
+			p.Add = append(p.Add, memnetNodeID(stripNULs(n)))
+		}
+		for _, n := range remove {
+			p.Remove = append(p.Remove, memnetNodeID(stripNULs(n)))
+		}
+		got, err := decodeViewChange(encodeViewChange(p))
+		if err != nil {
+			return false
+		}
+		if len(got.Add) != len(p.Add) || len(got.Remove) != len(p.Remove) {
+			return false
+		}
+		for i := range p.Add {
+			if got.Add[i] != p.Add[i] {
+				return false
+			}
+		}
+		for i := range p.Remove {
+			if got.Remove[i] != p.Remove[i] {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -201,6 +201,28 @@ func (r *replica) handle(t task) {
 	}
 }
 
+// execMode distinguishes why an invocation is being executed, which
+// decides whether it is appended to the catch-up log and whether its
+// response is multicast.
+type execMode uint8
+
+const (
+	// execLive is the normal path: a freshly delivered invocation. It is
+	// logged for future joiners and its response is multicast.
+	execLive execMode = iota
+	// execFailover re-executes a logged invocation on a promoted passive
+	// primary. Responses ARE re-multicast: clients that already received
+	// them suppress the duplicates, and clients the dead primary never
+	// answered finally get theirs (paper section 3). The log already
+	// holds these entries, so they are not re-appended.
+	execFailover
+	// execCatchup replays a donated log entry on a joining replica.
+	// Responses were already multicast by the established members, so the
+	// joiner stays quiet; the entries are seeded into its own log by the
+	// transfer application, not re-appended here.
+	execCatchup
+)
+
 func (r *replica) handleInvoke(t task) {
 	if t.logInv {
 		// The delivery already carries the encoded wire form; copy it
@@ -210,14 +232,14 @@ func (r *replica) handleInvoke(t task) {
 		case WarmPassive:
 			r.pendingLog = append(r.pendingLog, entry)
 		case ColdPassive:
-			r.m.log.Append(uint32(r.group), entry)
+			r.m.log.AppendOwned(uint32(r.group), entry)
 		}
 		return
 	}
 	if !t.execute {
 		return
 	}
-	r.executeInvocation(t.msg, t.ts, false)
+	r.executeInvocation(t.msg, t.raw, t.ts, execLive)
 }
 
 // executeInvocation runs one invocation against the application,
@@ -225,13 +247,17 @@ func (r *replica) handleInvoke(t task) {
 // identifier from the same source and client) are detected and
 // suppressed: the cached response is re-sent so a reissuing client (or a
 // gateway that failed over) still obtains the result, but the operation
-// is not executed twice (paper sections 2.2, 3.3, 3.5).
-func (r *replica) executeInvocation(msg Message, ts uint64, replay bool) {
+// is not executed twice (paper sections 2.2, 3.3, 3.5). raw is the
+// encoded wire form when the caller has it (the live path, which appends
+// it to the catch-up log); replays pass nil.
+func (r *replica) executeInvocation(msg Message, raw []byte, ts uint64, mode execMode) {
 	key := opKey{src: msg.Header.SrcGroup, clientID: msg.Header.ClientID, op: msg.Header.Op}
 	if rep, ok := r.executed[key]; ok {
 		r.m.duplicateInvocations.Add(1)
 		r.m.tracer.Event(traceKey(msg.Header), obs.StageDupSuppressed, string(r.m.cfg.NodeID))
-		r.respond(msg, rep)
+		if mode != execCatchup {
+			r.respond(msg, rep)
+		}
 		return
 	}
 	r.m.dedupMisses.Add(1)
@@ -243,6 +269,13 @@ func (r *replica) executeInvocation(msg Message, ts uint64, replay bool) {
 	if err != nil {
 		return
 	}
+	if raw != nil && !r.m.cfg.DisableCatchupLog {
+		// Log the wire form before executing: a checkpoint cut inside the
+		// execution (maybeSync, at Seq == ts) then correctly truncates the
+		// entry its state already covers. Replay paths whose entries are
+		// already in the log pass nil.
+		r.m.log.AppendOwned(uint32(r.group), logrec.Entry{Seq: ts, Data: append([]byte(nil), raw...)})
+	}
 
 	r.curParentTS = ts
 	r.curChildSeq = 0
@@ -251,13 +284,16 @@ func (r *replica) executeInvocation(msg Message, ts uint64, replay bool) {
 
 	r.m.invocationsExecuted.Add(1)
 	r.m.tracer.Event(traceKey(msg.Header), obs.StageExecute, string(r.m.cfg.NodeID))
-	if replay {
+	switch mode {
+	case execFailover:
 		r.m.replayedInvocations.Add(1)
+	case execCatchup:
+		r.m.transferEntriesReplayed.Add(1)
 	}
 	r.opCount++
 	r.lastOpTS = ts
 	r.remember(key, rep)
-	if req.ResponseExpected {
+	if req.ResponseExpected && mode != execCatchup {
 		r.respond(msg, rep)
 	}
 	r.maybeSync(ts)
@@ -302,11 +338,15 @@ func (r *replica) respond(inv Message, rep giop.Reply) {
 	r.m.responsesSent.Add(1)
 }
 
-// maybeSync publishes state to the backups of a passive group: a
+// maybeSync publishes state to the backups of a passive group — a
 // StateSync every WarmSyncInterval operations for warm replicas, a
-// checkpoint every CheckpointInterval for cold ones. Only the primary
-// executes, so only the primary arrives here.
+// checkpoint every CheckpointInterval for cold ones — and, for every
+// style, cuts a local catch-up checkpoint every CheckpointInterval so
+// this replica can donate state as checkpoint + log replay. Only
+// executing replicas arrive here (the primary of passive groups, every
+// replica of active ones).
 func (r *replica) maybeSync(ts uint64) {
+	r.maybeCheckpointLocal(ts)
 	var interval int
 	switch r.style {
 	case WarmPassive:
@@ -334,10 +374,47 @@ func (r *replica) maybeSync(ts uint64) {
 	}
 }
 
-// handleCaptureState is the donor side of state transfer: capture the
-// application state as of this point in the total order and multicast it
-// to the joining replica.
+// maybeCheckpointLocal cuts a catch-up checkpoint into the local log:
+// the state as of operation ts, truncating the logged entries the state
+// already covers. A joiner is then donated this checkpoint plus the
+// (bounded) entries logged since, instead of a full capture.
+func (r *replica) maybeCheckpointLocal(ts uint64) {
+	if r.m.cfg.DisableCatchupLog {
+		return
+	}
+	interval := r.m.cfg.CheckpointInterval
+	if interval <= 0 || r.opCount%uint64(interval) != 0 {
+		return
+	}
+	state, err := r.app.State()
+	if err != nil {
+		return
+	}
+	r.m.log.Checkpoint(uint32(r.group), logrec.Checkpoint{Seq: ts, OpCount: r.opCount, State: state})
+	r.m.catchupCheckpoints.Add(1)
+}
+
+// handleCaptureState is the donor side of state transfer. When the local
+// catch-up log holds a checkpoint, the donation is the checkpoint plus
+// the entries logged since it — the joiner catches up by replaying a
+// bounded suffix instead of receiving a fresh full capture. Without a
+// checkpoint (a young group, or the log disabled) it falls back to
+// capturing the application state at this point in the total order.
 func (r *replica) handleCaptureState(t task) {
+	if !r.m.cfg.DisableCatchupLog {
+		if cp, entries, err := r.m.log.Recover(uint32(r.group)); err == nil {
+			_ = r.m.multicast(Message{
+				Header: Header{Kind: KindStateTransfer, ClientID: UnusedClientID, SrcGroup: r.group, DstGroup: r.group},
+				Payload: encodeState(statePayload{
+					Target: t.joiner, JoinTS: t.ts, OpCount: cp.OpCount,
+					State: cp.State, CpSeq: cp.Seq, Entries: entries,
+				}),
+			})
+			r.m.stateTransfers.Add(1)
+			r.m.transfersCheckpointed.Add(1)
+			return
+		}
+	}
 	state, err := r.app.State()
 	if err != nil {
 		return
@@ -347,26 +424,65 @@ func (r *replica) handleCaptureState(t task) {
 		Payload: encodeState(statePayload{Target: t.joiner, JoinTS: t.ts, OpCount: r.opCount, State: state}),
 	})
 	r.m.stateTransfers.Add(1)
+	r.m.transfersFullState.Add(1)
 }
 
-// handleApplyState is the joiner side of state transfer.
+// handleApplyState is the joiner side of state transfer: install the
+// donated checkpoint, replay the donated log suffix quietly (the
+// established members already multicast these responses), then replay
+// the invocations held back since the join.
 func (r *replica) handleApplyState(t task) {
 	if r.synced.Load() {
 		return // duplicate transfer (donor died and was re-triggered)
 	}
+	st := t.state
+	cpSeq := st.CpSeq
+	if cpSeq == 0 {
+		cpSeq = st.JoinTS // full capture: the state is current as of the join
+	}
 	switch r.style {
 	case ColdPassive:
-		// A cold backup stores the state as a checkpoint; the
-		// application is loaded only at failover.
+		// A cold backup stores the donation in its log; the application
+		// is loaded only at failover.
 		r.m.log.Checkpoint(uint32(r.group), logrec.Checkpoint{
-			Seq: t.state.JoinTS, OpCount: t.state.OpCount, State: t.state.State,
+			Seq: cpSeq, OpCount: st.OpCount, State: st.State,
 		})
-	default:
-		if err := r.app.SetState(t.state.State); err != nil {
+		for _, e := range st.Entries {
+			r.m.log.AppendOwned(uint32(r.group), e)
+		}
+		r.opCount = st.OpCount + uint64(len(st.Entries))
+	case WarmPassive:
+		if err := r.app.SetState(st.State); err != nil {
 			return
 		}
+		// Backups do not execute: the donated suffix becomes the pending
+		// replay log, exactly as if this backup had logged those
+		// invocations itself.
+		r.opCount = st.OpCount
+		r.pendingLog = append(r.pendingLog[:0], st.Entries...)
+	default:
+		if err := r.app.SetState(st.State); err != nil {
+			return
+		}
+		r.opCount = st.OpCount
+		if !r.m.cfg.DisableCatchupLog && st.CpSeq > 0 {
+			// Seed the local log with the donation so this replica is
+			// immediately donor-capable for the next joiner.
+			r.m.log.Checkpoint(uint32(r.group), logrec.Checkpoint{
+				Seq: st.CpSeq, OpCount: st.OpCount, State: st.State,
+			})
+		}
+		for _, e := range st.Entries {
+			msg, err := Decode(e.Data)
+			if err != nil {
+				continue
+			}
+			if !r.m.cfg.DisableCatchupLog && st.CpSeq > 0 {
+				r.m.log.AppendOwned(uint32(r.group), e)
+			}
+			r.executeInvocation(msg, nil, e.Seq, execCatchup)
+		}
 	}
-	r.opCount = t.state.OpCount
 	r.synced.Store(true)
 	r.m.mu.Lock()
 	r.m.notifyChanged()
@@ -389,7 +505,24 @@ func (r *replica) handleApplySync(t task) {
 			return
 		}
 		r.opCount = t.state.OpCount
-		r.pendingLog = nil
+		// The synchronized state covers operations up to its capture
+		// point; entries logged after it must survive for failover
+		// replay (the capture races the entries still in flight to this
+		// backup).
+		kept := r.pendingLog[:0]
+		for _, e := range r.pendingLog {
+			if e.Seq > t.state.JoinTS {
+				kept = append(kept, e)
+			}
+		}
+		r.pendingLog = kept
+		if !r.m.cfg.DisableCatchupLog {
+			// Mirror the sync into the local log: a promoted warm backup
+			// is then donor-capable from its last synchronized state.
+			r.m.log.Checkpoint(uint32(r.group), logrec.Checkpoint{
+				Seq: t.state.JoinTS, OpCount: t.state.OpCount, State: t.state.State,
+			})
+		}
 	case ColdPassive:
 		r.m.log.Checkpoint(uint32(r.group), logrec.Checkpoint{
 			Seq: t.state.JoinTS, OpCount: t.state.OpCount, State: t.state.State,
@@ -407,11 +540,16 @@ func (r *replica) handleApplySync(t task) {
 func (r *replica) handleFailover() {
 	r.m.failovers.Add(1)
 	var entries []logrec.Entry
+	logReplayed := false
 	switch r.style {
 	case WarmPassive:
 		// State is current as of the last sync; replay the log since.
+		// The replayed entries are appended to the catch-up log (the
+		// last sync mirrored a checkpoint there), keeping the promoted
+		// primary donor-capable.
 		entries = r.pendingLog
 		r.pendingLog = nil
+		logReplayed = true
 	case ColdPassive:
 		cp, logged, err := r.m.log.Recover(uint32(r.group))
 		if err == nil {
@@ -421,7 +559,8 @@ func (r *replica) handleFailover() {
 			r.opCount = cp.OpCount
 		}
 		// With no checkpoint the application starts from its initial
-		// state and the full log replays.
+		// state and the full log replays. The entries are already in the
+		// log, so the replay must not re-append them.
 		entries = logged
 	default:
 		return
@@ -432,7 +571,11 @@ func (r *replica) handleFailover() {
 		if err != nil {
 			continue
 		}
-		r.executeInvocation(msg, e.Seq, true)
+		var raw []byte
+		if logReplayed {
+			raw = e.Data
+		}
+		r.executeInvocation(msg, raw, e.Seq, execFailover)
 	}
 }
 

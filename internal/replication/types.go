@@ -97,6 +97,25 @@ type ResponseID struct {
 	Op        OperationID
 }
 
+// View is a numbered membership view of an object group. Every
+// membership change — create, join, leave, eviction, failure — is
+// delivered through the total order (or, for processor failures, at the
+// single point where the new ring is installed), so every surviving
+// member increments the view number at the same place in the message
+// stream and the (Number, Members) pair is identical domain-wide.
+type View struct {
+	// Number counts membership changes since the group was created; the
+	// creation itself is view 1.
+	Number uint64
+	// Seq is the total-order position at which this view was installed:
+	// the totem timestamp of the membership message, or the ring
+	// identifier for failure-driven changes.
+	Seq uint64
+	// Members is the view's membership in join order; Members[0] is the
+	// primary of passive groups and the state-transfer donor.
+	Members []memnet.NodeID
+}
+
 // UnusedClientID is the TCP client identifier carried by messages
 // exchanged between replicated objects within the fault tolerance domain
 // ("some unused value" in figure 4c).
@@ -142,6 +161,14 @@ type Config struct {
 	// component keeps serving, and reconciliation is the application's
 	// concern.
 	QuorumOf int
+	// DisableCatchupLog turns off the per-group catch-up log: the local
+	// checkpoints and logged invocations every executing replica keeps so
+	// that it can donate state to a joiner as checkpoint + replay instead
+	// of a full capture, and so a joiner can catch up without replaying
+	// history from zero. With the log disabled every transfer falls back
+	// to a full state capture (the pre-reconfiguration behaviour; useful
+	// for ablation).
+	DisableCatchupLog bool
 	// BackpressureWindow is the pending-call occupancy at which the
 	// Backpressure signal saturates to 1.0 — i.e. how many invocations
 	// this node can comfortably have in flight toward the domain before
@@ -196,6 +223,24 @@ type Stats struct {
 	Checkpoints             uint64
 	Failovers               uint64
 	ReplayedInvocations     uint64
+	// ViewChanges counts group membership views installed at this node
+	// (joins, leaves, evictions, failure-driven removals).
+	ViewChanges uint64
+	// TransfersCheckpointed counts state donations served as checkpoint
+	// plus log replay; TransfersFullState counts the fallback full
+	// captures (no local checkpoint available, or the catch-up log is
+	// disabled).
+	TransfersCheckpointed uint64
+	TransfersFullState    uint64
+	// TransferEntriesReplayed counts logged invocations replayed by
+	// joining replicas catching up from a donated checkpoint.
+	TransferEntriesReplayed uint64
+	// CatchupCheckpoints counts local checkpoints written into the
+	// catch-up log by executing replicas.
+	CatchupCheckpoints uint64
+	// MembershipSyncs counts authoritative directory snapshots adopted
+	// after a ring merge (partition healing).
+	MembershipSyncs uint64
 }
 
 // traceKey derives the obs trace key of a message: the paper's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eternalgw/internal/cdr"
+	"eternalgw/internal/logrec"
 	"eternalgw/internal/memnet"
 )
 
@@ -30,6 +31,21 @@ const (
 	// KindDeleteGroup retires an object group everywhere: local replicas
 	// stop and the directory entry disappears.
 	KindDeleteGroup
+	// KindViewChange installs a membership delta — joiners and evicted
+	// members in one message. Because it travels through the same total
+	// order as every invocation, all replicas switch to the new numbered
+	// view at the same sequence number; there is no separate agreement
+	// round. The resource manager's shrink/replace path uses it to remove
+	// replicas without their cooperation (LeaveGroup is the cooperative
+	// exit).
+	KindViewChange
+	// KindMembershipSync carries the authoritative group directory after
+	// a ring merge. Nodes from the majority component broadcast their
+	// directory snapshot; nodes returning from a minority partition —
+	// whose memberships diverged while they were away — adopt it. The
+	// first sync delivered for a ring wins; the rest are identical and
+	// ignored.
+	KindMembershipSync
 )
 
 // Header is the fault tolerance infrastructure and gateway header
@@ -178,6 +194,99 @@ func decodeMember(b []byte) (memberPayload, error) {
 	return p, nil
 }
 
+// viewChangePayload carries one membership delta: nodes added to and
+// removed from the group in a single totally-ordered view change.
+type viewChangePayload struct {
+	Add    []memnet.NodeID
+	Remove []memnet.NodeID
+}
+
+func encodeViewChange(p viewChangePayload) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteULong(uint32(len(p.Add)))
+	for _, n := range p.Add {
+		w.WriteString(string(n))
+	}
+	w.WriteULong(uint32(len(p.Remove)))
+	for _, n := range p.Remove {
+		w.WriteString(string(n))
+	}
+	return w.Bytes()
+}
+
+func decodeViewChange(b []byte) (viewChangePayload, error) {
+	r := cdr.NewReader(b, cdr.BigEndian)
+	var p viewChangePayload
+	for n := r.ReadULong(); n > 0 && r.Err() == nil; n-- {
+		p.Add = append(p.Add, memnet.NodeID(r.ReadString()))
+	}
+	for n := r.ReadULong(); n > 0 && r.Err() == nil; n-- {
+		p.Remove = append(p.Remove, memnet.NodeID(r.ReadString()))
+	}
+	if err := r.Err(); err != nil {
+		return viewChangePayload{}, fmt.Errorf("replication: decode view change: %w", err)
+	}
+	return p, nil
+}
+
+// syncGroup is one group's directory entry inside a membership sync.
+type syncGroup struct {
+	ID        GroupID
+	Style     Style
+	ObjectKey []byte
+	View      uint64
+	ViewSeq   uint64
+	Members   []memnet.NodeID
+}
+
+// membershipSyncPayload is a majority node's directory snapshot, taken
+// at the merge configuration and valid only for that ring.
+type membershipSyncPayload struct {
+	RingID uint64
+	Groups []syncGroup
+}
+
+func encodeMembershipSync(p membershipSyncPayload) []byte {
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteULongLong(p.RingID)
+	w.WriteULong(uint32(len(p.Groups)))
+	for _, g := range p.Groups {
+		w.WriteULong(uint32(g.ID))
+		w.WriteOctet(byte(g.Style))
+		w.WriteOctetSeq(g.ObjectKey)
+		w.WriteULongLong(g.View)
+		w.WriteULongLong(g.ViewSeq)
+		w.WriteULong(uint32(len(g.Members)))
+		for _, n := range g.Members {
+			w.WriteString(string(n))
+		}
+	}
+	return w.Bytes()
+}
+
+func decodeMembershipSync(b []byte) (membershipSyncPayload, error) {
+	r := cdr.NewReader(b, cdr.BigEndian)
+	var p membershipSyncPayload
+	p.RingID = r.ReadULongLong()
+	for n := r.ReadULong(); n > 0 && r.Err() == nil; n-- {
+		g := syncGroup{
+			ID:        GroupID(r.ReadULong()),
+			Style:     Style(r.ReadOctet()),
+			ObjectKey: append([]byte(nil), r.ReadOctetSeq()...),
+			View:      r.ReadULongLong(),
+			ViewSeq:   r.ReadULongLong(),
+		}
+		for k := r.ReadULong(); k > 0 && r.Err() == nil; k-- {
+			g.Members = append(g.Members, memnet.NodeID(r.ReadString()))
+		}
+		p.Groups = append(p.Groups, g)
+	}
+	if err := r.Err(); err != nil {
+		return membershipSyncPayload{}, fmt.Errorf("replication: decode membership sync: %w", err)
+	}
+	return p, nil
+}
+
 // statePayload carries a state transfer or synchronization.
 type statePayload struct {
 	// Target is the joining node a transfer is addressed to; empty for
@@ -188,6 +297,14 @@ type statePayload struct {
 	// OpCount is the number of operations folded into the state.
 	OpCount uint64
 	State   []byte
+	// CpSeq is the totem sequence number of the checkpoint State was cut
+	// at; zero when State is a direct capture at the join point (the
+	// full-state fallback), in which case Entries is empty.
+	CpSeq uint64
+	// Entries are the logged invocations after the checkpoint, in total
+	// order; the joiner replays them to catch up from CpSeq to JoinTS
+	// without replaying history from zero.
+	Entries []logrec.Entry
 }
 
 func encodeState(p statePayload) []byte {
@@ -196,6 +313,12 @@ func encodeState(p statePayload) []byte {
 	w.WriteULongLong(p.JoinTS)
 	w.WriteULongLong(p.OpCount)
 	w.WriteOctetSeq(p.State)
+	w.WriteULongLong(p.CpSeq)
+	w.WriteULong(uint32(len(p.Entries)))
+	for _, e := range p.Entries {
+		w.WriteULongLong(e.Seq)
+		w.WriteOctetSeq(e.Data)
+	}
 	return w.Bytes()
 }
 
@@ -206,6 +329,12 @@ func decodeState(b []byte) (statePayload, error) {
 	p.JoinTS = r.ReadULongLong()
 	p.OpCount = r.ReadULongLong()
 	p.State = append([]byte(nil), r.ReadOctetSeq()...)
+	p.CpSeq = r.ReadULongLong()
+	for n := r.ReadULong(); n > 0 && r.Err() == nil; n-- {
+		e := logrec.Entry{Seq: r.ReadULongLong()}
+		e.Data = append([]byte(nil), r.ReadOctetSeq()...)
+		p.Entries = append(p.Entries, e)
+	}
 	if err := r.Err(); err != nil {
 		return statePayload{}, fmt.Errorf("replication: decode state: %w", err)
 	}

@@ -162,6 +162,45 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// RefreshProfiles rebinds the client to a republished reference, e.g.
+// after the domain added or removed gateways (the OnIORUpdate hook of
+// the domain package). If the currently connected gateway's address
+// survives in the new profile list the connection is kept; otherwise it
+// is closed, so the next invocation fails over to a published gateway
+// and reissues with its original request identifier.
+func (c *Client) RefreshProfiles(ref ior.Ref) error {
+	profiles, err := ref.IIOPProfiles()
+	if err != nil {
+		return err
+	}
+	if len(profiles) == 0 {
+		return errors.New("thinclient: reference has no IIOP profiles")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	current := ""
+	if c.conn != nil && c.profile >= 0 && c.profile < len(c.profiles) {
+		current = c.profiles[c.profile].Addr()
+	}
+	c.profiles = profiles
+	c.profile = -1
+	for i, p := range profiles {
+		if current != "" && p.Addr() == current {
+			c.profile = i
+			break
+		}
+	}
+	if c.conn != nil && c.profile < 0 {
+		// The connected gateway was withdrawn: drop the connection now so
+		// the next invocation traverses the new profile list instead of
+		// waiting for the retired gateway to sever it.
+		_ = c.conn.Close()
+		c.conn = nil
+		c.gen++
+	}
+	return nil
+}
+
 // ensureConn returns a live connection. If badGen names the caller's
 // last-seen generation, the connection is assumed broken and the layer
 // fails over to the next profile; pass -1 to accept the current one.

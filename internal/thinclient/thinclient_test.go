@@ -373,3 +373,95 @@ func TestDrainHandsClientsToRedundantGateway(t *testing.T) {
 		}
 	}
 }
+
+func TestGatewayChurnWithProfileRefresh(t *testing.T) {
+	// Online gateway reconfiguration (paper section 3.5): gateways are
+	// added to and removed from the domain's edge under live calls. The
+	// domain republishes the multi-profile IOR on every change and the
+	// interception layer rebinds, so no operation is lost or duplicated
+	// even when the client's connected gateway is withdrawn.
+	var (
+		clientMu sync.Mutex
+		client   *thinclient.Client
+	)
+	d, err := domain.New(domain.Config{
+		Name:  "churn",
+		Nodes: 4,
+		Totem: totem.Config{
+			IdleHold:        100 * time.Microsecond,
+			TokenRetransmit: 10 * time.Millisecond,
+			FailTimeout:     80 * time.Millisecond,
+			GatherTimeout:   20 * time.Millisecond,
+		},
+		GatewayInvokeTimeout: 5 * time.Second,
+		OnIORUpdate: func(objectKey []byte, ref ior.Ref) {
+			clientMu.Lock()
+			c := client
+			clientMu.Unlock()
+			if c != nil {
+				if err := c.RefreshProfiles(ref); err != nil {
+					t.Errorf("refresh profiles: %v", err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	apps, ref := deploy(t, d, 2, 2)
+
+	c, err := thinclient.Dial(ref, thinclient.Config{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	clientMu.Lock()
+	client = c
+	clientMu.Unlock()
+
+	call := func(i int) {
+		t.Helper()
+		r, err := c.Call("add", addArgs(1))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := r.ReadLongLong(); got != int64(i) {
+			t.Fatalf("call %d returned %d: operation lost or duplicated", i, got)
+		}
+	}
+
+	i := 0
+	for ; i < 10; i++ {
+		call(i + 1)
+	}
+	// Withdraw the gateway the client is connected to; the republished
+	// reference tells the layer to rebind before the socket dies.
+	gws := d.Gateways()
+	if err := d.RemoveGateway(gws[0], time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for ; i < 20; i++ {
+		call(i + 1)
+	}
+	// Add a fresh gateway, then withdraw the last original one: the
+	// client can only continue if it learned the new profile.
+	if _, err := d.AddGateway(0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveGateway(gws[1], time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for ; i < 30; i++ {
+		call(i + 1)
+	}
+
+	for idx, app := range apps {
+		if got := app.value(); got != 30 {
+			t.Fatalf("replica %d total = %d, want 30: operations lost or duplicated", idx, got)
+		}
+	}
+	if got := len(d.Gateways()); got != 1 {
+		t.Fatalf("gateways after churn = %d, want 1", got)
+	}
+}
