@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check soak soak-reconfig bench bench-baseline bench-compare clean
+.PHONY: build test vet lint race check soak soak-reconfig soak-leader bench bench-smoke bench-baseline bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,11 @@ race:
 	$(GO) test -race -timeout 15m ./...
 
 # check is the full verification gate: static analysis plus the whole
-# test suite under the race detector, plus the reconfiguration soak at
-# a higher repetition count than one `go test` pass gives it.
-check: vet lint race soak-reconfig
+# test suite under the race detector, the reconfiguration and
+# leader-crash soaks at a higher repetition count than one `go test`
+# pass gives them, and a one-iteration benchmark smoke so a change that
+# breaks benchmark setup (but not the tests) cannot land silently.
+check: vet lint race soak-reconfig soak-leader bench-smoke
 
 # soak slams one admission-controlled gateway at 4x its configured
 # in-flight window under the race detector while fault injection slows
@@ -49,6 +51,15 @@ SOAK_RECONFIG_COUNT ?= 3
 soak-reconfig:
 	$(GO) test -race -run TestReconfigRollingUpgradeSoak -count $(SOAK_RECONFIG_COUNT) -timeout 10m -v .
 
+# soak-leader crashes and restarts the totem sequencer while thin
+# clients run at full load under the race detector
+# (leader_soak_test.go): the ordering-fast-path acceptance gate —
+# exactly-once across demotion to ring rotation and agreed
+# re-promotion.
+SOAK_LEADER_COUNT ?= 3
+soak-leader:
+	$(GO) test -race -run TestLeaderCrashSoak -count $(SOAK_LEADER_COUNT) -timeout 10m -v .
+
 # bench runs the datapath throughput suite (round trips, multi-client
 # load, packing on/off ablation) with the same methodology as the
 # recorded BENCH_*.json trajectory files, then prints a JSON summary in
@@ -58,6 +69,14 @@ BENCH_COUNT ?= 3
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkE5GatewayLoops$$|BenchmarkGatewayRoundTrip|BenchmarkGatewayMultiClient|BenchmarkGatewayPacking|BenchmarkGatewayReplicationDegree|BenchmarkGatewayMultiGroup|BenchmarkGatewayAdmission' -benchtime 2s -count $(BENCH_COUNT) . | tee /tmp/bench_run.txt
 	@awk -f scripts/benchjson.awk /tmp/bench_run.txt
+
+# bench-smoke runs every benchmark in the module for exactly one
+# iteration: it costs seconds and proves benchmark setup still compiles
+# and stands up (domain construction, fast-path promotion, deploys) —
+# regressions there otherwise surface only when someone next runs
+# `make bench` by hand.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # bench-baseline reproduces the original gateway round-trip numbers
 # recorded in BENCH_baseline.json (baseline vs instrumented datapath).

@@ -23,6 +23,7 @@ import (
 	"eternalgw/internal/ftmgmt"
 	"eternalgw/internal/orb"
 	"eternalgw/internal/replication"
+	"eternalgw/internal/totem"
 )
 
 // throughputSizes are the request payload sizes the suite sweeps: a
@@ -59,6 +60,125 @@ func BenchmarkGatewayRoundTrip(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// benchDomainOrdering is benchDomain with the totem ordering mode
+// exposed; it lives in this file (not bench_test.go) on purpose: when
+// bench-compare overlays this file onto a ref predating the leader fast
+// path, the overlay fails to build and the script falls back to the
+// ref's own suite, which is the honest baseline.
+func benchDomainOrdering(b *testing.B, nodes int, mode totem.OrderingMode) *domain.Domain {
+	b.Helper()
+	d, err := domain.New(domain.Config{
+		Name:  "bench",
+		Nodes: nodes,
+		Totem: totem.Config{
+			IdleHold:        100 * time.Microsecond,
+			TokenRetransmit: 10 * time.Millisecond,
+			FailTimeout:     80 * time.Millisecond,
+			GatherTimeout:   20 * time.Millisecond,
+			Ordering:        mode,
+		},
+		GatewayInvokeTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	if mode == totem.OrderingLeader {
+		benchWaitFastpath(b, d)
+	}
+	return d
+}
+
+// benchWaitFastpath blocks until every node in the domain agrees on the
+// same sequencer. Promotion needs a quiescent ring (stable == seq with
+// no retransmissions), so timing must not start before it happens —
+// otherwise early iterations measure ring mode.
+func benchWaitFastpath(b *testing.B, d *domain.Domain) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		agreed := true
+		var leader string
+		for i := 0; i < d.Nodes(); i++ {
+			l, _, ok := d.Node(i).Totem.Fastpath()
+			if !ok || (leader != "" && string(l) != leader) {
+				agreed = false
+				break
+			}
+			leader = string(l)
+		}
+		if agreed {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("fast path never promoted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkGatewayRoundTripLeader is BenchmarkGatewayRoundTrip with the
+// ring in leader ordering mode: the latency figure the fast path exists
+// to improve. Compare against the plain RoundTrip rows (the ring-mode
+// ablation), which must stay where they were.
+func BenchmarkGatewayRoundTripLeader(b *testing.B) {
+	for _, size := range throughputSizes {
+		b.Run(size.name, func(b *testing.B) {
+			d := benchDomainOrdering(b, 3, totem.OrderingLeader)
+			benchDeploy(b, d, replication.Active, 2)
+			gw, err := d.AddGateway(2, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn, err := orb.Dial(gw.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = conn.Close() })
+			args := experiments.OctetSeqArg(make([]byte, size.n))
+			b.SetBytes(int64(size.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Call([]byte(benchKey), "echo", args, orb.InvokeOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if demoted := d.Node(0).Totem.Stats().Demotions; demoted != 0 {
+				b.Fatalf("fast path demoted %d times during the run; figures mix modes", demoted)
+			}
+		})
+	}
+}
+
+// BenchmarkGatewayMultiClientLeader is the c=16 multi-client shape in
+// leader mode, checking the fast path also holds up when many payloads
+// land per sequencer visit (the shape packing serves in ring mode).
+func BenchmarkGatewayMultiClientLeader(b *testing.B) {
+	for _, size := range throughputSizes {
+		b.Run(fmt.Sprintf("c=16/%s", size.name), func(b *testing.B) {
+			d := benchDomainOrdering(b, 3, totem.OrderingLeader)
+			benchDeploy(b, d, replication.Active, 2)
+			gw, err := d.AddGateway(2, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			conns := make([]*orb.Conn, 16)
+			for i := range conns {
+				c, err := orb.Dial(gw.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { _ = c.Close() })
+				conns[i] = c
+			}
+			args := experiments.OctetSeqArg(make([]byte, size.n))
+			b.SetBytes(int64(size.n))
+			b.ResetTimer()
+			runClients(b, conns, func(int) []byte { return []byte(benchKey) }, args)
 		})
 	}
 }

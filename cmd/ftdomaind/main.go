@@ -93,6 +93,7 @@ func main() {
 		listen   = flag.String("listen", "", "comma-separated gateway listen addresses (default: ephemeral localhost ports)")
 		monitor  = flag.Duration("monitor", 250*time.Millisecond, "resource manager reconciliation interval (0 disables)")
 		udp      = flag.Bool("udp", false, "run the domain's totem ring over real UDP sockets on localhost instead of the in-process network")
+		ordering = flag.String("ordering", "ring", "totem ordering mode: ring (token rotation) or leader (sequencer fast path, see docs/PERFORMANCE.md)")
 		quorum   = flag.Bool("quorum", false, "enable majority-partition protection (a minority partition refuses to serve)")
 		obsAddr  = flag.String("obs-addr", "", "ops HTTP listen address for /metrics, /healthz, /readyz, /statusz (empty disables)")
 		trace    = flag.Bool("trace", false, "record per-invocation traces, shown on /statusz (requires -obs-addr)")
@@ -109,7 +110,7 @@ func main() {
 	if err := run(runOpts{
 		nodes: *nodes, replicas: *replicas, gateways: *gateways,
 		styleStr: *styleStr, listen: *listen, monitor: *monitor,
-		udp: *udp, quorum: *quorum,
+		udp: *udp, quorum: *quorum, ordering: *ordering,
 		obsAddr: *obsAddr, trace: *trace, pprof: *pprofOn, logLevel: *logLevel,
 		maxConns: *maxConns, maxConnsPerClient: *maxConnsPer,
 		rate: *rate, inflight: *inflight, drainTimeout: *drainTimeout,
@@ -123,6 +124,7 @@ func main() {
 type runOpts struct {
 	nodes, replicas, gateways int
 	styleStr, listen          string
+	ordering                  string
 	monitor                   time.Duration
 	udp, quorum               bool
 	obsAddr                   string
@@ -178,10 +180,25 @@ func parseStyle(s string) (replication.Style, error) {
 	}
 }
 
+func parseOrdering(s string) (totem.OrderingMode, error) {
+	switch strings.ToLower(s) {
+	case "", "ring":
+		return totem.OrderingRing, nil
+	case "leader":
+		return totem.OrderingLeader, nil
+	default:
+		return 0, fmt.Errorf("unknown ordering mode %q (want ring or leader)", s)
+	}
+}
+
 func run(o runOpts) error {
 	nodes, replicas, gateways := o.nodes, o.replicas, o.gateways
 	listen, monitor := o.listen, o.monitor
 	style, err := parseStyle(o.styleStr)
+	if err != nil {
+		return err
+	}
+	orderingMode, err := parseOrdering(o.ordering)
 	if err != nil {
 		return err
 	}
@@ -199,6 +216,10 @@ func run(o runOpts) error {
 		OnIORUpdate: func(objectKey []byte, ref ior.Ref) {
 			fmt.Printf("republished IOR for %q:\n%s\n", objectKey, ref.String())
 		},
+	}
+	cfg.Totem.Ordering = orderingMode
+	if orderingMode == totem.OrderingLeader {
+		fmt.Println("totem ordering: leader fast path (sequencer-assigned order, ring fallback on failure)")
 	}
 	if cfg.Admission != nil {
 		fmt.Printf("admission control: max-conns=%d max-conns-per-client=%d rate=%g inflight=%d\n",

@@ -44,7 +44,9 @@ import (
 )
 
 // defaultRoots are the datapath handlers dispatched by
-// replication.(*Mechanisms).handleDelivery under the read lock.
+// replication.(*Mechanisms).handleDelivery under the read lock, plus
+// the totem fast-path send hooks that run directly on the ring's event
+// loop (a blocking call there stalls ordering for the whole ring).
 var defaultRoots = map[string]bool{
 	"eternalgw/internal/replication.Mechanisms.deliverInvocation":    true,
 	"eternalgw/internal/replication.Mechanisms.deliverResponse":      true,
@@ -52,6 +54,8 @@ var defaultRoots = map[string]bool{
 	"eternalgw/internal/replication.Mechanisms.observeResponse":      true,
 	"eternalgw/internal/replication.Mechanisms.deliverGatewayControl": true,
 	"eternalgw/internal/replication.Mechanisms.observe":              true,
+	"eternalgw/internal/totem.Node.forwardPending":                   true,
+	"eternalgw/internal/totem.Node.leaderOrderPending":               true,
 }
 
 // setObserverKey is the registration point whose function argument runs

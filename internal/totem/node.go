@@ -60,6 +60,10 @@ type Node struct {
 	reconfigN      atomic.Uint64
 	packedMsgN     atomic.Uint64
 	packedPartN    atomic.Uint64
+	forwardedN     atomic.Uint64
+	leaderBatchN   atomic.Uint64
+	promotionN     atomic.Uint64
+	demotionN      atomic.Uint64
 	// pendingN mirrors len(pending) (owned by the run goroutine) so
 	// Backlog can report send-queue depth without touching protocol state.
 	pendingN atomic.Int64
@@ -93,6 +97,50 @@ type Node struct {
 	gatherDeadline time.Time
 
 	failDeadline time.Time
+
+	// Leader-ordered fast-path state (Config.Ordering == OrderingLeader),
+	// owned by the run goroutine like the rest of the protocol state.
+	fpActive   bool          // a sequencer is installed for the current ring
+	leaderID   memnet.NodeID // the installed sequencer
+	promoteSeq uint64        // ring-ordered sequence the mode switch was installed at
+
+	// sequencer-side state
+	leaderSeq    uint64                             // last sequence number assigned
+	leaderStable uint64                             // stability horizon (min aru over the ring)
+	memberAru    map[memnet.NodeID]uint64           // latest acked aru per member
+	memberAckAt  map[memnet.NodeID]time.Time        // when each member last acked (liveness)
+	fwdSeen      map[memnet.NodeID]uint64           // contiguous forward watermark per origin
+	fwdStash     map[memnet.NodeID]map[uint64]forwardMsg // out-of-order forwards awaiting their gap
+	fwdLast      map[memnet.NodeID]uint64           // seq of each origin's most recent batch
+	batchOrigin  map[uint64]batchRef                // seq -> forward identity, for nak retransmission
+	heartbeatAt  time.Time
+
+	// follower-side state
+	fwdNext       uint64        // next forward number to issue this epoch
+	awaiting      []awaitingFwd // forwards sent but not yet seen ordered
+	awaitingParts int           // payloads inside awaiting (backlog accounting)
+	fwdResendAt   time.Time
+	ackDueAt      time.Time
+
+	// mirrors for Fastpath() and the stability-lag gauge
+	curLeader    memnet.NodeID // under mu
+	curLeaderSeq uint64        // under mu
+	fpSeqA       atomic.Uint64
+	fpStableA    atomic.Uint64
+}
+
+// batchRef identifies the forward a sequence number ordered.
+type batchRef struct {
+	origin memnet.NodeID
+	fwd    uint64
+}
+
+// awaitingFwd is a forward this follower sent to the sequencer and has
+// not yet seen come back ordered.
+type awaitingFwd struct {
+	fwd     uint64
+	parts   [][]byte
+	resends int
 }
 
 // Start creates a node and launches its protocol goroutine. The founding
@@ -143,9 +191,14 @@ func (n *Node) registerMetrics(reg *obs.Registry) {
 		{"eternalgw_totem_reconfigs_total", "Ring installations this node participated in.", n.reconfigN.Load},
 		{"eternalgw_totem_packed_msgs_total", "Packed datagrams this node originated.", n.packedMsgN.Load},
 		{"eternalgw_totem_packed_parts_total", "Payloads carried inside packed datagrams.", n.packedPartN.Load},
+		{"eternalgw_totem_fastpath_forwarded_total", "Payloads forwarded to a sequencer in leader mode.", n.forwardedN.Load},
+		{"eternalgw_totem_fastpath_batches_total", "Ordered batches this node multicast as sequencer.", n.leaderBatchN.Load},
+		{"eternalgw_totem_fastpath_promotions_total", "Leader epochs installed on this node.", n.promotionN.Load},
+		{"eternalgw_totem_fastpath_demotions_total", "Falls from leader mode back to ring rotation.", n.demotionN.Load},
 	} {
 		reg.CounterFunc(c.name, c.help, lbl, c.fn)
 	}
+	reg.GaugeFunc("eternalgw_totem_fastpath_stability_lag", "Sequence numbers the sequencer has assigned beyond its stability horizon.", lbl, n.stabilityLag)
 }
 
 // ID returns the node's identity.
@@ -209,7 +262,36 @@ func (n *Node) Stats() Stats {
 		Reconfigs:     n.reconfigN.Load(),
 		PackedMsgs:    n.packedMsgN.Load(),
 		PackedParts:   n.packedPartN.Load(),
+		Forwarded:     n.forwardedN.Load(),
+		LeaderBatches: n.leaderBatchN.Load(),
+		Promotions:    n.promotionN.Load(),
+		Demotions:     n.demotionN.Load(),
+		StabilityLag:  n.stabilityLagN(),
 	}
+}
+
+// stabilityLagN reports how far the sequencer has assigned sequence
+// numbers beyond its stability horizon (zero off the fast path).
+func (n *Node) stabilityLagN() uint64 {
+	seq, stable := n.fpSeqA.Load(), n.fpStableA.Load()
+	if seq > stable {
+		return seq - stable
+	}
+	return 0
+}
+
+func (n *Node) stabilityLag() float64 { return float64(n.stabilityLagN()) }
+
+// Fastpath reports the installed sequencer for the current ring, if the
+// leader-ordered fast path is active: the leader's identity and the
+// agreed ring-ordered sequence number the mode switch was installed at.
+func (n *Node) Fastpath() (leader memnet.NodeID, startSeq uint64, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.curLeader == "" {
+		return "", 0, false
+	}
+	return n.curLeader, n.curLeaderSeq, true
 }
 
 // Stop terminates the protocol goroutine and waits for it to exit.
@@ -248,6 +330,21 @@ func (n *Node) run() {
 			n.pending = append(n.pending, payload)
 			n.pendingN.Store(int64(len(n.pending)))
 			n.drainSendq()
+			if n.fpActive {
+				// Leader mode: no token to wait for. The sequencer orders
+				// its own submissions directly; followers forward theirs
+				// to it immediately. Token pacing (lastTrafficAt) is
+				// deliberately not touched — it is a no-op on the fast
+				// path, so a demotion right after this submission starts
+				// ring rotation from a clean pacing state instead of
+				// double-delaying the first post-switch rotation.
+				if n.leaderID == n.cfg.ID {
+					n.leaderOrderPending()
+				} else {
+					n.forwardPending()
+				}
+				continue
+			}
 			n.lastTrafficAt = time.Now()
 			if n.heldToken != nil {
 				// The token is parked here idle; broadcast immediately
@@ -290,6 +387,9 @@ func (n *Node) rearm(timer *time.Timer) {
 	earliest(n.failDeadline)
 	earliest(n.tokenResendAt)
 	earliest(n.gatherDeadline)
+	earliest(n.heartbeatAt)
+	earliest(n.fwdResendAt)
+	earliest(n.ackDueAt)
 	if n.heldToken != nil {
 		earliest(n.holdUntil)
 	}
@@ -322,6 +422,15 @@ func (n *Node) handleTimeouts(now time.Time) {
 	if !n.gatherDeadline.IsZero() && !n.gatherDeadline.After(now) {
 		n.installRing()
 	}
+	if !n.heartbeatAt.IsZero() && !n.heartbeatAt.After(now) {
+		n.leaderHeartbeat(now)
+	}
+	if !n.fwdResendAt.IsZero() && !n.fwdResendAt.After(now) {
+		n.resendForwards(now)
+	}
+	if !n.ackDueAt.IsZero() && !n.ackDueAt.After(now) {
+		n.sendAck(now)
+	}
 	if !n.failDeadline.IsZero() && !n.failDeadline.After(now) && !n.gathering {
 		n.startGather()
 	}
@@ -348,6 +457,22 @@ func (n *Node) handlePacket(pkt memnet.Packet) {
 	case kindJoin:
 		if j, err := decodeJoin(r); err == nil {
 			n.handleJoin(j)
+		}
+	case kindForward:
+		if f, err := decodeForward(r); err == nil {
+			n.handleForward(f)
+		}
+	case kindBatch:
+		if b, err := decodeBatch(r); err == nil {
+			n.handleBatch(b)
+		}
+	case kindAck:
+		if a, err := decodeAck(r); err == nil {
+			n.handleAck(a)
+		}
+	case kindPromote:
+		if p, err := decodePromote(r); err == nil {
+			n.handlePromote(p)
 		}
 	}
 }
@@ -384,7 +509,12 @@ func (n *Node) handleRegular(m regularMsg) {
 	// stale retransmissions above do not, so a wedged ring (dead token
 	// holder, endlessly resent stale token) still trips the fail timer.
 	n.touchLiveness()
-	n.lastTrafficAt = time.Now()
+	if !n.fpActive {
+		// Token pacing is a no-op in leader mode: lastTrafficAt feeds
+		// only the ring-mode hold decision, and leader-mode traffic must
+		// not skew the first post-demotion rotation.
+		n.lastTrafficAt = time.Now()
+	}
 	n.buffer[m.Seq] = m
 	if m.Seq > n.highest {
 		n.highest = m.Seq
@@ -394,6 +524,11 @@ func (n *Node) handleRegular(m regularMsg) {
 		n.clearTokenResend()
 	}
 	n.tryDeliver()
+	if n.fpActive && n.leaderID != n.cfg.ID {
+		// A sequencer retransmission landed (kindRegular serves naks for
+		// ring-era sequence numbers): report the advanced watermark.
+		n.scheduleAck()
+	}
 }
 
 func (n *Node) handleToken(t token) {
@@ -411,6 +546,14 @@ func (n *Node) handleToken(t token) {
 		if !n.gathering {
 			n.startGather()
 		}
+		return
+	}
+	if n.fpActive {
+		// The promotion retired this ring's token; anything still in
+		// flight is a stale pre-promotion resend. It is never held,
+		// quartered or forwarded (token pacing is a no-op in leader
+		// mode), and it is not liveness — the sequencer's batches and
+		// heartbeats are.
 		return
 	}
 	if t.TokenID <= n.lastTokenID {
@@ -618,6 +761,21 @@ func (n *Node) processToken(t token) {
 		n.tryDeliver()
 	}
 
+	// Leader-ordered fast path: once the ring is mature and fully
+	// quiescent — every assigned sequence number delivered everywhere,
+	// nothing outstanding — the current holder promotes to sequencer and
+	// retires the token instead of forwarding it. The quiescence
+	// condition makes the switch sequence exact: every node has delivered
+	// precisely through t.Seq in ring order, so t.Seq is the agreed
+	// boundary between token-ordered and leader-ordered traffic.
+	if n.cfg.Ordering == OrderingLeader &&
+		t.TokenID > uint64(2*len(n.ring)) &&
+		t.Stable == t.Seq && n.deliveredSeq == t.Seq &&
+		len(t.Rtr) == 0 && len(t.Skip) == 0 {
+		n.promote(t)
+		return
+	}
+
 	// Forward immediately if this visit did work or left work pending;
 	// otherwise hold before forwarding so an idle ring does not spin.
 	// Within ActiveWindow of the last traffic the hold is cut to a
@@ -727,6 +885,7 @@ func (n *Node) gc(aru uint64) {
 }
 
 func (n *Node) emit(ev Event) {
+	//lint:allow looplock delivery backpressure is intentional and the stop channel bounds the wait
 	select {
 	// This send is where the arena borrow begins, not where it leaks:
 	// the events channel is the protocol's delivery handoff, and the
@@ -761,6 +920,12 @@ func (n *Node) broadcastRaw(b []byte) {
 
 // startGather begins membership recovery.
 func (n *Node) startGather() {
+	if n.fpActive {
+		// Any fall into membership recovery from leader mode is a
+		// demotion: the ring rotates again until a fresh promotion.
+		n.demotionN.Add(1)
+		n.leaveLeaderMode()
+	}
 	n.gathering = true
 	n.heldToken = nil
 	n.holdUntil = time.Time{}
@@ -838,6 +1003,10 @@ func (n *Node) installRing() {
 	n.gatherDeadline = time.Time{}
 	n.failDeadline = time.Now().Add(n.cfg.FailTimeout)
 	n.reconfigN.Add(1)
+	// Start the new ring's pacing clock now: after a promotion/demotion
+	// cycle the previous epoch's traffic timestamps must not add idle
+	// holds to (or remove them from) the first post-switch rotations.
+	n.lastTrafficAt = time.Now()
 
 	n.mu.Lock()
 	n.curMembers = members

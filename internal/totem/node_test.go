@@ -28,6 +28,14 @@ func fastConfig() Config {
 
 func newCluster(t *testing.T, n int, opts ...memnet.Option) *cluster {
 	t.Helper()
+	return newClusterCfg(t, n, nil, opts...)
+}
+
+// newClusterCfg is newCluster with a config hook applied to every
+// member, for tests that need non-default protocol knobs (ordering
+// mode, lag limits).
+func newClusterCfg(t *testing.T, n int, mut func(*Config), opts ...memnet.Option) *cluster {
+	t.Helper()
 	c := &cluster{
 		t:     t,
 		net:   memnet.New(opts...),
@@ -45,6 +53,9 @@ func newCluster(t *testing.T, n int, opts ...memnet.Option) *cluster {
 		cfg.ID = id
 		cfg.Endpoint = ep
 		cfg.Members = c.ids
+		if mut != nil {
+			mut(&cfg)
+		}
 		node, err := Start(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -83,6 +83,29 @@ type Transport interface {
 	Broadcast(payload []byte) error
 }
 
+// OrderingMode selects how a ring totally orders messages.
+type OrderingMode int
+
+const (
+	// OrderingRing is the classic Totem rotation: only the circulating
+	// token's holder broadcasts, so a submission waits for the token to
+	// come around. Latency is bounded below by the rotation time, but no
+	// single node is on the datapath of every message.
+	OrderingRing OrderingMode = iota
+	// OrderingLeader enables the leader-ordered fast path (in the style
+	// of LLFT's leader-follower ordering): once a ring is installed and
+	// quiescent, the current token holder promotes itself to sequencer
+	// and retires the token. Nodes forward pending payloads to the
+	// sequencer immediately; it assigns sequence numbers and multicasts
+	// ordered batches, while followers ack so the sequencer advances a
+	// stability horizon replacing the token-carried aru. Leader failure
+	// or an unbounded stability lag demotes the ring cleanly back to
+	// token rotation (the membership-recovery protocol), from which a
+	// fresh promotion can follow. The total-order, gap-recovery and
+	// virtual-synchrony guarantees are identical in both modes.
+	OrderingLeader
+)
+
 // Config parameterizes a Node.
 type Config struct {
 	// ID is this node's identity; it must match the endpoint's.
@@ -145,6 +168,20 @@ type Config struct {
 	// never packed; it travels alone as a plain regular message.
 	MaxPackBytes int
 
+	// Ordering selects the total-order mechanism: the token ring
+	// (default) or the leader-ordered fast path. All members must
+	// configure the same value; the ring always starts in ring mode and
+	// only promotes a sequencer once installed and quiescent, so mixed
+	// settings degrade to whichever nodes refuse to adopt (and then to a
+	// membership change), not to an ordering violation.
+	Ordering OrderingMode
+	// FastpathLagLimit bounds, in sequence numbers, how far the
+	// sequencer may run ahead of the stability horizon before it demotes
+	// the ring back to token rotation (leader mode's backlog-imbalance
+	// escape: a follower that cannot keep up would otherwise force
+	// unbounded buffering everywhere). Zero means 4096.
+	FastpathLagLimit int
+
 	// Metrics, when set, exposes the node's protocol counters on the
 	// registry, labelled node=<ID>. The protocol goroutine keeps its
 	// bare atomic counters; the registry reads them only at scrape time.
@@ -182,6 +219,9 @@ func (c *Config) applyDefaults() {
 	if c.MaxPackBytes == 0 {
 		c.MaxPackBytes = 32 << 10
 	}
+	if c.FastpathLagLimit == 0 {
+		c.FastpathLagLimit = 4096
+	}
 }
 
 // Stats is a snapshot of a node's protocol counters.
@@ -194,4 +234,9 @@ type Stats struct {
 	Reconfigs     uint64 // ring installations
 	PackedMsgs    uint64 // packed datagrams this node originated
 	PackedParts   uint64 // payloads that travelled inside those packs
+	Forwarded     uint64 // payloads this node forwarded to a sequencer (leader mode)
+	LeaderBatches uint64 // ordered batches this node multicast as sequencer
+	Promotions    uint64 // leader epochs this node installed (as sequencer or follower)
+	Demotions     uint64 // falls from leader mode back to ring rotation
+	StabilityLag  uint64 // sequencer's current seq minus its stability horizon
 }

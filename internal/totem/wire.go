@@ -13,6 +13,10 @@ const (
 	kindToken   byte = 2
 	kindJoin    byte = 3
 	kindPacked  byte = 4
+	kindForward byte = 5 // leader mode: payloads forwarded to the sequencer
+	kindBatch   byte = 6 // leader mode: an ordered batch from the sequencer
+	kindAck     byte = 7 // leader mode: a follower's stability report
+	kindPromote byte = 8 // leader mode: sequencer installation / heartbeat
 )
 
 // regularMsg is a sequenced application broadcast (possibly a
@@ -215,6 +219,208 @@ func encodeJoin(j joinMsg) []byte {
 	w.WriteULongLong(j.Highest)
 	w.WriteULongLong(j.Aru)
 	return w.Bytes()
+}
+
+// forwardMsg carries a follower's queued payloads to the sequencer in
+// leader mode. FwdSeq numbers the sender's forwards within the current
+// leader epoch, giving the sequencer a per-origin FIFO to order by and a
+// way to recognize resent duplicates.
+type forwardMsg struct {
+	RingID uint64
+	Sender memnet.NodeID
+	FwdSeq uint64
+	Parts  [][]byte
+}
+
+// batchMsg is one leader-ordered batch: the packed wire form plus the
+// leader header. Each batch orders exactly one forward (Origin,
+// OriginFwd), consumes one sequence number, and piggybacks the
+// sequencer's current stability horizon so followers garbage-collect
+// without a token.
+type batchMsg struct {
+	RingID    uint64
+	Seq       uint64
+	Leader    memnet.NodeID
+	Origin    memnet.NodeID
+	OriginFwd uint64
+	Stable    uint64
+	Parts     [][]byte
+}
+
+// ackMsg is a follower's stability report in leader mode: its contiguous
+// received watermark plus retransmission requests for observed gaps. The
+// sequencer folds the Aru values into the stability horizon that
+// replaces the token-carried aru.
+type ackMsg struct {
+	RingID uint64
+	Sender memnet.NodeID
+	Aru    uint64
+	Nak    []uint64
+}
+
+// promoteMsg installs (and then heartbeats) a sequencer. StartSeq is the
+// agreed mode-switch sequence: the last ring-ordered sequence number,
+// identical at every node, below which everything was token-ordered and
+// above which everything is leader-ordered within this ring.
+type promoteMsg struct {
+	RingID   uint64
+	Leader   memnet.NodeID
+	StartSeq uint64
+	Stable   uint64
+}
+
+func encodeForward(f forwardMsg) []byte {
+	size := 40 + len(f.Sender)
+	for _, p := range f.Parts {
+		size += 8 + len(p)
+	}
+	w := cdr.NewWriterCap(cdr.BigEndian, size)
+	w.WriteOctet(kindForward)
+	w.WriteULongLong(f.RingID)
+	w.WriteString(string(f.Sender))
+	w.WriteULongLong(f.FwdSeq)
+	w.WriteULong(uint32(len(f.Parts)))
+	for _, p := range f.Parts {
+		w.WriteOctetSeq(p)
+	}
+	return w.Bytes()
+}
+
+func decodeForward(r *cdr.Reader) (forwardMsg, error) {
+	var f forwardMsg
+	f.RingID = r.ReadULongLong()
+	f.Sender = memnet.NodeID(r.ReadString())
+	f.FwdSeq = r.ReadULongLong()
+	n := r.ReadULong()
+	// Each part costs at least its 4-byte length prefix, which bounds a
+	// hostile count before any allocation happens.
+	if r.Err() != nil || int(n) > r.Remaining()/4 {
+		return forwardMsg{}, fmt.Errorf("totem: decode forward: bad part count %d", n)
+	}
+	f.Parts = make([][]byte, 0, n)
+	arena := make([]byte, 0, r.Remaining())
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		p := r.ReadOctetSeq()
+		off := len(arena)
+		arena = append(arena, p...)
+		f.Parts = append(f.Parts, arena[off:len(arena):len(arena)])
+	}
+	if err := r.Err(); err != nil {
+		return forwardMsg{}, fmt.Errorf("totem: decode forward: %w", err)
+	}
+	if len(f.Parts) == 0 {
+		return forwardMsg{}, fmt.Errorf("totem: decode forward: empty forward")
+	}
+	return f, nil
+}
+
+func encodeBatch(b batchMsg) []byte {
+	size := 64 + len(b.Leader) + len(b.Origin)
+	for _, p := range b.Parts {
+		size += 8 + len(p)
+	}
+	w := cdr.NewWriterCap(cdr.BigEndian, size)
+	w.WriteOctet(kindBatch)
+	w.WriteULongLong(b.RingID)
+	w.WriteULongLong(b.Seq)
+	w.WriteString(string(b.Leader))
+	w.WriteString(string(b.Origin))
+	w.WriteULongLong(b.OriginFwd)
+	w.WriteULongLong(b.Stable)
+	w.WriteULong(uint32(len(b.Parts)))
+	for _, p := range b.Parts {
+		w.WriteOctetSeq(p)
+	}
+	return w.Bytes()
+}
+
+func decodeBatch(r *cdr.Reader) (batchMsg, error) {
+	var b batchMsg
+	b.RingID = r.ReadULongLong()
+	b.Seq = r.ReadULongLong()
+	b.Leader = memnet.NodeID(r.ReadString())
+	b.Origin = memnet.NodeID(r.ReadString())
+	b.OriginFwd = r.ReadULongLong()
+	b.Stable = r.ReadULongLong()
+	n := r.ReadULong()
+	if r.Err() != nil || int(n) > r.Remaining()/4 {
+		return batchMsg{}, fmt.Errorf("totem: decode batch: bad part count %d", n)
+	}
+	// Same one-arena-per-datagram copy as decodePacked: parts are capped
+	// subslices of a single backing buffer.
+	b.Parts = make([][]byte, 0, n)
+	arena := make([]byte, 0, r.Remaining())
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		p := r.ReadOctetSeq()
+		off := len(arena)
+		arena = append(arena, p...)
+		b.Parts = append(b.Parts, arena[off:len(arena):len(arena)])
+	}
+	if err := r.Err(); err != nil {
+		return batchMsg{}, fmt.Errorf("totem: decode batch: %w", err)
+	}
+	if len(b.Parts) == 0 {
+		return batchMsg{}, fmt.Errorf("totem: decode batch: empty batch")
+	}
+	return b, nil
+}
+
+func encodeAck(a ackMsg) []byte {
+	w := cdr.NewWriterCap(cdr.BigEndian, 40+len(a.Sender)+8*len(a.Nak))
+	w.WriteOctet(kindAck)
+	w.WriteULongLong(a.RingID)
+	w.WriteString(string(a.Sender))
+	w.WriteULongLong(a.Aru)
+	w.WriteULong(uint32(len(a.Nak)))
+	for _, s := range a.Nak {
+		w.WriteULongLong(s)
+	}
+	return w.Bytes()
+}
+
+func decodeAck(r *cdr.Reader) (ackMsg, error) {
+	var a ackMsg
+	a.RingID = r.ReadULongLong()
+	a.Sender = memnet.NodeID(r.ReadString())
+	a.Aru = r.ReadULongLong()
+	n := r.ReadULong()
+	// Each nak costs 8 bytes, which bounds a hostile count before any
+	// allocation happens.
+	if r.Err() != nil || int(n) > r.Remaining()/8 {
+		return ackMsg{}, fmt.Errorf("totem: decode ack: bad nak count %d", n)
+	}
+	if n > 0 {
+		a.Nak = make([]uint64, 0, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			a.Nak = append(a.Nak, r.ReadULongLong())
+		}
+	}
+	if err := r.Err(); err != nil {
+		return ackMsg{}, fmt.Errorf("totem: decode ack: %w", err)
+	}
+	return a, nil
+}
+
+func encodePromote(p promoteMsg) []byte {
+	w := cdr.NewWriterCap(cdr.BigEndian, 40+len(p.Leader))
+	w.WriteOctet(kindPromote)
+	w.WriteULongLong(p.RingID)
+	w.WriteString(string(p.Leader))
+	w.WriteULongLong(p.StartSeq)
+	w.WriteULongLong(p.Stable)
+	return w.Bytes()
+}
+
+func decodePromote(r *cdr.Reader) (promoteMsg, error) {
+	var p promoteMsg
+	p.RingID = r.ReadULongLong()
+	p.Leader = memnet.NodeID(r.ReadString())
+	p.StartSeq = r.ReadULongLong()
+	p.Stable = r.ReadULongLong()
+	if err := r.Err(); err != nil {
+		return promoteMsg{}, fmt.Errorf("totem: decode promote: %w", err)
+	}
+	return p, nil
 }
 
 func decodeJoin(r *cdr.Reader) (joinMsg, error) {

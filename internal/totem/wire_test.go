@@ -96,6 +96,112 @@ func TestQuickTokenRoundTrip(t *testing.T) {
 	}
 }
 
+func TestForwardRoundTrip(t *testing.T) {
+	fm := forwardMsg{RingID: 5, Sender: "n7", FwdSeq: 42, Parts: [][]byte{[]byte("one"), []byte("two"), {}}}
+	got, err := decodeForward(decodeFrame(t, encodeForward(fm), kindForward))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RingID != 5 || got.Sender != "n7" || got.FwdSeq != 42 || len(got.Parts) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range fm.Parts {
+		if !bytes.Equal(got.Parts[i], fm.Parts[i]) {
+			t.Fatalf("part %d = %q, want %q", i, got.Parts[i], fm.Parts[i])
+		}
+	}
+}
+
+func TestForwardRejectsEmptyAndHostile(t *testing.T) {
+	if _, err := decodeForward(cdrSkipKind(encodeForward(forwardMsg{RingID: 1, Sender: "n"}))); err == nil {
+		t.Fatal("empty forward decoded")
+	}
+	// A hostile part count larger than the remaining bytes could carry
+	// must be rejected before allocation.
+	w := cdr.NewWriter(cdr.BigEndian)
+	w.WriteOctet(kindForward)
+	w.WriteULongLong(1)
+	w.WriteString("n")
+	w.WriteULongLong(1)
+	w.WriteULong(1 << 30)
+	if _, err := decodeForward(cdrSkipKind(w.Bytes())); err == nil {
+		t.Fatal("hostile part count decoded")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	bm := batchMsg{
+		RingID: 9, Seq: 1234, Leader: "n0", Origin: "n2", OriginFwd: 17, Stable: 1200,
+		Parts: [][]byte{[]byte("payload")},
+	}
+	got, err := decodeBatch(decodeFrame(t, encodeBatch(bm), kindBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RingID != 9 || got.Seq != 1234 || got.Leader != "n0" || got.Origin != "n2" ||
+		got.OriginFwd != 17 || got.Stable != 1200 || len(got.Parts) != 1 || !bytes.Equal(got.Parts[0], bm.Parts[0]) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	am := ackMsg{RingID: 2, Sender: "n1", Aru: 800, Nak: []uint64{801, 803}}
+	got, err := decodeAck(decodeFrame(t, encodeAck(am), kindAck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, am) {
+		t.Fatalf("got %+v, want %+v", got, am)
+	}
+	// Empty nak list survives too.
+	am2 := ackMsg{RingID: 2, Sender: "n1", Aru: 801}
+	got2, err := decodeAck(cdrSkipKind(encodeAck(am2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Aru != 801 || len(got2.Nak) != 0 {
+		t.Fatalf("got %+v", got2)
+	}
+}
+
+func TestPromoteRoundTrip(t *testing.T) {
+	pm := promoteMsg{RingID: 3, Leader: "n0", StartSeq: 555, Stable: 555}
+	got, err := decodePromote(decodeFrame(t, encodePromote(pm), kindPromote))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pm) {
+		t.Fatalf("got %+v, want %+v", got, pm)
+	}
+}
+
+func TestQuickForwardBatchRoundTrip(t *testing.T) {
+	f := func(ringID, fwd uint64, payloads [][]byte) bool {
+		if len(payloads) == 0 {
+			payloads = [][]byte{{}}
+		}
+		fm := forwardMsg{RingID: ringID, Sender: "q", FwdSeq: fwd, Parts: payloads}
+		gotF, err := decodeForward(cdrSkipKind(encodeForward(fm)))
+		if err != nil || gotF.FwdSeq != fwd || len(gotF.Parts) != len(payloads) {
+			return false
+		}
+		bm := batchMsg{RingID: ringID, Seq: fwd + 1, Leader: "l", Origin: "q", OriginFwd: fwd, Stable: fwd / 2, Parts: payloads}
+		gotB, err := decodeBatch(cdrSkipKind(encodeBatch(bm)))
+		if err != nil || gotB.Seq != fwd+1 || gotB.Origin != "q" || len(gotB.Parts) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(gotF.Parts[i], payloads[i]) || !bytes.Equal(gotB.Parts[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickDecodersNeverPanic(t *testing.T) {
 	f := func(data []byte) (ok bool) {
 		defer func() {
@@ -111,11 +217,51 @@ func TestQuickDecodersNeverPanic(t *testing.T) {
 			_, _ = decodeToken(r)
 		case kindJoin:
 			_, _ = decodeJoin(r)
+		case kindForward:
+			_, _ = decodeForward(r)
+		case kindBatch:
+			_, _ = decodeBatch(r)
+		case kindAck:
+			_, _ = decodeAck(r)
+		case kindPromote:
+			_, _ = decodePromote(r)
 		}
 		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTruncatedLeaderFramesRejected slices every prefix of valid
+// leader-mode frames through the decoders: truncation must error, never
+// panic or return success.
+func TestTruncatedLeaderFramesRejected(t *testing.T) {
+	frames := [][]byte{
+		encodeForward(forwardMsg{RingID: 1, Sender: "n1", FwdSeq: 2, Parts: [][]byte{[]byte("abc"), []byte("defg")}}),
+		encodeBatch(batchMsg{RingID: 1, Seq: 3, Leader: "n0", Origin: "n1", OriginFwd: 2, Stable: 1, Parts: [][]byte{[]byte("abc")}}),
+		encodeAck(ackMsg{RingID: 1, Sender: "n1", Aru: 3, Nak: []uint64{4}}),
+		encodePromote(promoteMsg{RingID: 1, Leader: "n0", StartSeq: 3, Stable: 3}),
+	}
+	for _, frame := range frames {
+		kind := frame[0]
+		for cut := 1; cut < len(frame); cut++ {
+			r := cdr.NewReader(frame[:cut], cdr.BigEndian)
+			var err error
+			switch r.ReadOctet() {
+			case kindForward:
+				_, err = decodeForward(r)
+			case kindBatch:
+				_, err = decodeBatch(r)
+			case kindAck:
+				_, err = decodeAck(r)
+			case kindPromote:
+				_, err = decodePromote(r)
+			}
+			if err == nil && cut < len(frame) {
+				t.Fatalf("kind %d truncated at %d/%d decoded without error", kind, cut, len(frame))
+			}
+		}
 	}
 }
 

@@ -48,6 +48,20 @@ while [ "$i" -le "$ROUNDS" ]; do
     (cd "$TREE" && go test -run xxx -bench "$REGEX" -benchtime "$BENCHTIME" -count 1 .) | tee -a "$BEFORE" >&2
     echo "== round $i/$ROUNDS: after (working tree) ==" >&2
     go test -run xxx -bench "$REGEX" -benchtime "$BENCHTIME" -count 1 . | tee -a "$AFTER" >&2
+    # A regexp that matches nothing produces a clean PASS and an empty
+    # comparison — indistinguishable from "no regression" unless caught.
+    # Check after the first round so a typo fails in seconds, not after
+    # every remaining round has burned its benchtime.
+    if [ "$i" -eq 1 ]; then
+        if ! grep -q '^Benchmark' "$BEFORE"; then
+            echo "benchcompare: regex '$REGEX' matched no benchmarks at $REF" >&2
+            exit 1
+        fi
+        if ! grep -q '^Benchmark' "$AFTER"; then
+            echo "benchcompare: regex '$REGEX' matched no benchmarks in the working tree" >&2
+            exit 1
+        fi
+    fi
     i=$((i + 1))
 done
 
@@ -63,6 +77,7 @@ FNR == 1 { side++ }
                 if (!(name in bsum)) order[++n] = name
                 bsum[name] += $i; bcnt[name]++
             } else {
+                if (!(name in asum)) aorder[++an] = name
                 asum[name] += $i; acnt[name]++
             }
             break
@@ -76,5 +91,21 @@ END {
         if (!(k in acnt)) continue
         b = mean(bsum, bcnt, k); a = mean(asum, acnt, k)
         printf "%-52s %14d %14d %8.2fx\n", k, b, a, b / a
+    }
+    # After-only benchmarks whose name is a "Leader" variant of a before
+    # row (e.g. GatewayRoundTripLeader/small vs GatewayRoundTrip/small)
+    # are new-mode rows: score them against the ring-mode baseline so the
+    # leader-vs-ring speedup prints directly.
+    for (i = 1; i <= an; i++) {
+        k = aorder[i]
+        if (k in bcnt) continue
+        ring = k
+        sub(/Leader/, "", ring)
+        if (ring != k && (ring in bcnt)) {
+            b = mean(bsum, bcnt, ring); a = mean(asum, acnt, k)
+            printf "%-52s %14d %14d %8.2fx\n", k " (vs " ring ")", b, a, b / a
+        } else {
+            printf "%-52s %14s %14d %9s\n", k, "(new)", mean(asum, acnt, k), "-"
+        }
     }
 }' "$BEFORE" "$AFTER"
