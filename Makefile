@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check soak soak-reconfig soak-leader bench bench-smoke bench-baseline bench-compare clean
+.PHONY: build test vet lint race check soak soak-reconfig soak-leader smoke-udp bench bench-smoke bench-baseline bench-compare bench-udp clean
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,10 @@ race:
 # check is the full verification gate: static analysis plus the whole
 # test suite under the race detector, the reconfiguration and
 # leader-crash soaks at a higher repetition count than one `go test`
-# pass gives them, and a one-iteration benchmark smoke so a change that
-# breaks benchmark setup (but not the tests) cannot land silently.
-check: vet lint race soak-reconfig soak-leader bench-smoke
+# pass gives them, the multi-process UDP deployment smoke, and a
+# one-iteration benchmark smoke so a change that breaks benchmark setup
+# (but not the tests) cannot land silently.
+check: vet lint race soak-reconfig soak-leader smoke-udp bench-smoke
 
 # soak slams one admission-controlled gateway at 4x its configured
 # in-flight window under the race detector while fault injection slows
@@ -60,6 +61,14 @@ SOAK_LEADER_COUNT ?= 3
 soak-leader:
 	$(GO) test -race -run TestLeaderCrashSoak -count $(SOAK_LEADER_COUNT) -timeout 10m -v .
 
+# smoke-udp launches a three-member totem ring as three separate OS
+# processes over real localhost UDP sockets (ftdomaind -node), drives a
+# short multi-client echo soak through a gateway, and audits that every
+# append executed exactly once (scripts/udpsmoke.sh). Part of `make
+# check`: the real-network deployment path must keep standing up.
+smoke-udp:
+	scripts/udpsmoke.sh
+
 # bench runs the datapath throughput suite (round trips, multi-client
 # load, packing on/off ablation) with the same methodology as the
 # recorded BENCH_*.json trajectory files, then prints a JSON summary in
@@ -77,6 +86,25 @@ bench:
 # `make bench` by hand.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# bench-udp records the real-network UDP datapath A/B in the
+# BENCH_udp.json schema: the in-process transport-level multi-client
+# suite (BenchmarkUDPNetMultiClient) and the gateway suite over real
+# sockets (BenchmarkGatewayMultiClientUDP), batched vs per-datagram
+# alternating within every round, plus the multi-process sweep
+# (scripts/benchudp.sh: one ftdomaind -node OS process per ring member,
+# ring and leader ordering at r=1..3, exactly-once audited).
+BENCH_UDP_ROUNDS ?= 3
+BENCH_UDP_MP_ROUNDS ?= 2
+bench-udp:
+	: >/tmp/bench_udp.txt
+	i=1; while [ $$i -le $(BENCH_UDP_ROUNDS) ]; do \
+		echo "== bench-udp round $$i/$(BENCH_UDP_ROUNDS) ==" >&2; \
+		$(GO) test -run xxx -bench 'BenchmarkUDPNetMultiClient|BenchmarkGatewayMultiClientUDP' -benchtime 2s -count 1 . | tee -a /tmp/bench_udp.txt || exit 1; \
+		i=$$((i + 1)); \
+	done
+	scripts/benchudp.sh $(BENCH_UDP_MP_ROUNDS) 2s 8 | tee -a /tmp/bench_udp.txt
+	awk -f scripts/benchjson.awk -v cmd='make bench-udp' /tmp/bench_udp.txt | tee BENCH_udp.json
 
 # bench-baseline reproduces the original gateway round-trip numbers
 # recorded in BENCH_baseline.json (baseline vs instrumented datapath).

@@ -14,6 +14,7 @@ package eternalgw_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,9 +22,11 @@ import (
 	"eternalgw/internal/domain"
 	"eternalgw/internal/experiments"
 	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/memnet"
 	"eternalgw/internal/orb"
 	"eternalgw/internal/replication"
 	"eternalgw/internal/totem"
+	"eternalgw/internal/udpnet"
 )
 
 // throughputSizes are the request payload sizes the suite sweeps: a
@@ -180,6 +183,216 @@ func BenchmarkGatewayMultiClientLeader(b *testing.B) {
 			b.ResetTimer()
 			runClients(b, conns, func(int) []byte { return []byte(benchKey) }, args)
 		})
+	}
+}
+
+// benchDomainUDP is benchDomain over real localhost UDP sockets: every
+// processor's totem attachment is a udpnet endpoint with the given
+// config instead of the in-process simulated network. It lives in this
+// file (not bench_test.go) for the same overlay reason as
+// benchDomainOrdering: on a ref predating udpnet.ListenConfig the
+// overlay fails to build and bench-compare falls back to the ref's own
+// suite.
+func benchDomainUDP(b *testing.B, nodes int, ucfg udpnet.Config) *domain.Domain {
+	b.Helper()
+	registry := make(udpnet.Registry, nodes)
+	for i := 0; i < nodes; i++ {
+		id := memnet.NodeID(fmt.Sprintf("bench/p%02d", i))
+		probe, err := udpnet.Listen(id, udpnet.Registry{id: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		registry[id] = probe.Addr()
+		if err := probe.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := domain.New(domain.Config{
+		Name:  "bench",
+		Nodes: nodes,
+		Totem: totem.Config{
+			IdleHold:        100 * time.Microsecond,
+			TokenRetransmit: 10 * time.Millisecond,
+			FailTimeout:     80 * time.Millisecond,
+			GatherTimeout:   20 * time.Millisecond,
+		},
+		GatewayInvokeTimeout: 10 * time.Second,
+		TransportFactory: func(id memnet.NodeID) (totem.Transport, error) {
+			return udpnet.ListenConfig(id, registry, ucfg)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	return d
+}
+
+// benchUDPNetMultiClient drives one endpoint's broadcast datapath with
+// `clients` concurrent producer goroutines against a three-member
+// registry of real localhost sockets, and measures delivered ordered
+// throughput: the run only counts an iteration when every sink endpoint
+// has received the datagram. Producers keep the number of broadcasts in
+// flight beyond the slowest sink bounded by `window`, so kernel receive
+// buffers never overflow and the figure measures the datapath, not
+// loss-recovery luck.
+func benchUDPNetMultiClient(b *testing.B, nodes, clients, window int, ucfg udpnet.Config, payload int) {
+	b.Helper()
+	ids := make([]memnet.NodeID, nodes)
+	registry := make(udpnet.Registry, nodes)
+	for i := range ids {
+		id := memnet.NodeID(fmt.Sprintf("bench/p%02d", i))
+		ids[i] = id
+		probe, err := udpnet.Listen(id, udpnet.Registry{id: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		registry[id] = probe.Addr()
+		if err := probe.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eps := make([]*udpnet.Endpoint, nodes)
+	for i, id := range ids {
+		ep, err := udpnet.ListenConfig(id, registry, ucfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = ep.Close() })
+		eps[i] = ep
+	}
+	src := eps[0]
+	counts := make([]atomic.Int64, nodes)
+	var wg sync.WaitGroup
+	for i := 1; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := 0
+			for n < b.N {
+				<-eps[i].Recv()
+				n++
+				counts[i].Store(int64(n))
+			}
+		}(i)
+	}
+	// Drain src's own loopback deliveries so its inbox never fills. The
+	// goroutine parks on the closed endpoint's inbox at cleanup, which is
+	// fine for a benchmark process.
+	go func() {
+		for range src.Recv() {
+		}
+	}()
+	var sent atomic.Int64
+	msg := make([]byte, payload)
+	b.SetBytes(int64(payload))
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := sent.Add(1)
+				if s > int64(b.N) {
+					return
+				}
+				for {
+					min := counts[1].Load()
+					for i := 2; i < len(counts); i++ {
+						if v := counts[i].Load(); v < min {
+							min = v
+						}
+					}
+					if s-min <= int64(window) {
+						break
+					}
+					time.Sleep(10 * time.Microsecond)
+				}
+				if err := src.Broadcast(msg); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	s := src.Stats()
+	b.ReportMetric(float64(s.TxDatagrams)/float64(s.TxBatches+1), "dg/flush")
+}
+
+// BenchmarkUDPNetMultiClient is the transport-level multi-client suite:
+// many concurrent broadcasters sharing one UDP endpoint, the shape a
+// loaded ring member's socket actually serves. This is where the
+// batched/per-datagram A/B isolates the syscall-amortization win itself
+// — on the end-to-end gateway rows the UDP datapath is a small slice of
+// each operation (Amdahl bounds the visible ratio; see
+// docs/PERFORMANCE.md), while here it is the operation. The per-mode
+// rows alternate batched/perdatagram so interleaved rounds cancel
+// machine drift.
+func BenchmarkUDPNetMultiClient(b *testing.B) {
+	cfg := udpnet.Config{ReadBuffer: 4 << 20, InboxSize: 4096}
+	ablation := cfg
+	ablation.DisableBatching = true
+	for _, clients := range []int{8, 16} {
+		for _, size := range throughputSizes {
+			// The in-flight window keeps window×frame bytes under the
+			// 4 MiB kernel receive buffer for both payload sizes.
+			window := 512
+			if size.n > 1024 {
+				window = 128
+			}
+			for _, mode := range []struct {
+				name string
+				cfg  udpnet.Config
+			}{{"batched", cfg}, {"perdatagram", ablation}} {
+				b.Run(fmt.Sprintf("c=%d/%s/%s", clients, mode.name, size.name), func(b *testing.B) {
+					benchUDPNetMultiClient(b, 3, clients, window, mode.cfg, size.n)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkGatewayMultiClientUDP is the multi-client shape with the
+// totem ring over real UDP sockets, A/B-ing the batched
+// (sendmmsg/recvmmsg, outbound gather queue, vectored framing) datapath
+// against the per-datagram ablation path (synchronous one-write-per-peer
+// broadcast, one-read-per-syscall receive — the transport's original
+// shape). The batched/perdatagram ratio is the syscall-amortization
+// speedup BENCH_udp.json records; scripts/benchcompare.sh maps these
+// rows onto the memnet BenchmarkGatewayMultiClient baseline to price the
+// real network against the simulated one.
+func BenchmarkGatewayMultiClientUDP(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  udpnet.Config
+	}{
+		{"batched", udpnet.Config{}},
+		{"perdatagram", udpnet.Config{DisableBatching: true}},
+	} {
+		for _, size := range throughputSizes {
+			b.Run(fmt.Sprintf("%s/c=16/%s", mode.name, size.name), func(b *testing.B) {
+				d := benchDomainUDP(b, 3, mode.cfg)
+				benchDeploy(b, d, replication.Active, 2)
+				gw, err := d.AddGateway(2, "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				conns := make([]*orb.Conn, 16)
+				for i := range conns {
+					c, err := orb.Dial(gw.Addr())
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { _ = c.Close() })
+					conns[i] = c
+				}
+				args := experiments.OctetSeqArg(make([]byte, size.n))
+				b.SetBytes(int64(size.n))
+				b.ResetTimer()
+				runClients(b, conns, func(int) []byte { return []byte(benchKey) }, args)
+			})
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"eternalgw/internal/domain"
 	"eternalgw/internal/experiments"
 	"eternalgw/internal/ftmgmt"
+	"eternalgw/internal/interceptor"
 	"eternalgw/internal/ior"
 	"eternalgw/internal/memnet"
 	"eternalgw/internal/naming"
@@ -42,8 +44,9 @@ import (
 )
 
 // udpFactory builds a localhost UDP registry for the domain's processors
-// and returns a transport factory over it.
-func udpFactory(nodes int) (func(memnet.NodeID) (totem.Transport, error), udpnet.Registry, error) {
+// and returns a transport factory over it, applying the UDP tuning knobs
+// to every endpoint.
+func udpFactory(nodes int, ucfg udpnet.Config) (func(memnet.NodeID) (totem.Transport, error), udpnet.Registry, error) {
 	registry := make(udpnet.Registry, nodes)
 	for i := 0; i < nodes; i++ {
 		id := memnet.NodeID(fmt.Sprintf("demo/p%02d", i))
@@ -57,9 +60,55 @@ func udpFactory(nodes int) (func(memnet.NodeID) (totem.Transport, error), udpnet
 		}
 	}
 	factory := func(id memnet.NodeID) (totem.Transport, error) {
-		return udpnet.Listen(id, registry)
+		return udpnet.ListenConfig(id, registry, ucfg)
 	}
 	return factory, registry, nil
+}
+
+// parseRegistry decodes a -registry specification: comma-separated
+// "id=host:port" pairs, or "@path" naming a file with one pair per line
+// ('#' starts a comment). It returns the registry plus the node ids in
+// sorted order — the convention order that decides replica placement in
+// node mode.
+func parseRegistry(spec string) (udpnet.Registry, []memnet.NodeID, error) {
+	if spec == "" {
+		return nil, nil, fmt.Errorf("-node requires -registry")
+	}
+	var pairs []string
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("registry file: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			if line = strings.TrimSpace(line); line != "" {
+				pairs = append(pairs, line)
+			}
+		}
+	} else {
+		pairs = strings.Split(spec, ",")
+	}
+	reg := make(udpnet.Registry, len(pairs))
+	for _, p := range pairs {
+		p = strings.TrimSpace(p)
+		id, addr, ok := strings.Cut(p, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, nil, fmt.Errorf("bad registry entry %q (want id=host:port)", p)
+		}
+		if _, dup := reg[memnet.NodeID(id)]; dup {
+			return nil, nil, fmt.Errorf("duplicate registry entry for %q", id)
+		}
+		reg[memnet.NodeID(id)] = addr
+	}
+	ids := make([]memnet.NodeID, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return reg, ids, nil
 }
 
 const (
@@ -93,6 +142,11 @@ func main() {
 		listen   = flag.String("listen", "", "comma-separated gateway listen addresses (default: ephemeral localhost ports)")
 		monitor  = flag.Duration("monitor", 250*time.Millisecond, "resource manager reconciliation interval (0 disables)")
 		udp      = flag.Bool("udp", false, "run the domain's totem ring over real UDP sockets on localhost instead of the in-process network")
+		node     = flag.String("node", "", "run as a single ring member with this identity (multi-process mode; requires -registry)")
+		registry = flag.String("registry", "", "ring membership as comma-separated id=host:port pairs, or @file with one pair per line (node mode)")
+		udpRcv   = flag.Int("udp-rcvbuf", 0, "UDP socket receive buffer in bytes (0 = OS default)")
+		udpSnd   = flag.Int("udp-sndbuf", 0, "UDP socket send buffer in bytes (0 = OS default)")
+		udpBatch = flag.Bool("udp-batch", true, "amortize UDP syscalls with sendmmsg/recvmmsg where supported (false = per-datagram ablation path)")
 		ordering = flag.String("ordering", "ring", "totem ordering mode: ring (token rotation) or leader (sequencer fast path, see docs/PERFORMANCE.md)")
 		quorum   = flag.Bool("quorum", false, "enable majority-partition protection (a minority partition refuses to serve)")
 		obsAddr  = flag.String("obs-addr", "", "ops HTTP listen address for /metrics, /healthz, /readyz, /statusz (empty disables)")
@@ -107,10 +161,27 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "how long a gateway may bleed in-flight requests on shutdown")
 	)
 	flag.Parse()
+	udpCfg := udpnet.Config{
+		ReadBuffer:      *udpRcv,
+		WriteBuffer:     *udpSnd,
+		DisableBatching: !*udpBatch,
+	}
+	if *node != "" {
+		if err := runNode(nodeOpts{
+			node: *node, registry: *registry, replicas: *replicas,
+			styleStr: *styleStr, ordering: *ordering, listen: *listen,
+			quorum: *quorum, obsAddr: *obsAddr, logLevel: *logLevel,
+			drainTimeout: *drainTimeout, udp: udpCfg,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "ftdomaind:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(runOpts{
 		nodes: *nodes, replicas: *replicas, gateways: *gateways,
 		styleStr: *styleStr, listen: *listen, monitor: *monitor,
-		udp: *udp, quorum: *quorum, ordering: *ordering,
+		udp: *udp, udpCfg: udpCfg, quorum: *quorum, ordering: *ordering,
 		obsAddr: *obsAddr, trace: *trace, pprof: *pprofOn, logLevel: *logLevel,
 		maxConns: *maxConns, maxConnsPerClient: *maxConnsPer,
 		rate: *rate, inflight: *inflight, drainTimeout: *drainTimeout,
@@ -127,6 +198,7 @@ type runOpts struct {
 	ordering                  string
 	monitor                   time.Duration
 	udp, quorum               bool
+	udpCfg                    udpnet.Config
 	obsAddr                   string
 	trace                     bool
 	pprof                     bool
@@ -249,7 +321,9 @@ func run(o runOpts) error {
 		cfg.Replication = replication.Config{QuorumOf: nodes}
 	}
 	if o.udp {
-		factory, registry, err := udpFactory(nodes)
+		ucfg := o.udpCfg
+		ucfg.Metrics = cfg.Metrics
+		factory, registry, err := udpFactory(nodes, ucfg)
 		if err != nil {
 			return err
 		}
@@ -400,6 +474,199 @@ func run(o runOpts) error {
 		}(gw)
 	}
 	wg.Wait()
+	fmt.Println("shutting down")
+	return nil
+}
+
+// nodeOpts carries the parsed command line into runNode.
+type nodeOpts struct {
+	node, registry string
+	replicas       int
+	styleStr       string
+	ordering       string
+	listen         string
+	quorum         bool
+	obsAddr        string
+	logLevel       string
+	drainTimeout   time.Duration
+	udp            udpnet.Config
+
+	// stop, onReady, onObs mirror the runOpts test hooks.
+	stop    <-chan struct{}
+	onReady func(addrs []string)
+	onObs   func(addr string)
+}
+
+// runNode runs one ring member in this OS process: a UDP endpoint bound
+// at the node's registry address, a totem node over the full registry
+// membership, and the replication mechanisms. Deployment is by
+// convention over the sorted registry ids — the first -replicas ids each
+// host a replica of the demo object, and any node given -listen also
+// hosts gateways — so the processes need no coordinator beyond the
+// shared registry (docs/OPERATIONS.md "Real-network deployment").
+func runNode(o nodeOpts) error {
+	style, err := parseStyle(o.styleStr)
+	if err != nil {
+		return err
+	}
+	orderingMode, err := parseOrdering(o.ordering)
+	if err != nil {
+		return err
+	}
+	registry, ids, err := parseRegistry(o.registry)
+	if err != nil {
+		return err
+	}
+	id := memnet.NodeID(o.node)
+	idx := -1
+	for i, n := range ids {
+		if n == id {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("node %q is not in the registry %v", id, ids)
+	}
+	if o.replicas <= 0 || o.replicas > len(ids) {
+		return fmt.Errorf("cannot place %d replicas on %d registry nodes", o.replicas, len(ids))
+	}
+	log := obs.NewLogger(os.Stderr, obs.ParseLevel(o.logLevel))
+	var metrics *obs.Registry
+	var ops *obs.Server
+	if o.obsAddr != "" {
+		metrics = obs.NewRegistry()
+		ops, err = obs.NewServerOpts(o.obsAddr, metrics, nil, obs.ServerOptions{})
+		if err != nil {
+			return fmt.Errorf("ops server: %w", err)
+		}
+		defer func() { _ = ops.Close() }()
+		fmt.Printf("ops endpoints on http://%s/ (/metrics /healthz /readyz /statusz)\n", ops.Addr())
+	}
+
+	ucfg := o.udp
+	ucfg.Metrics = metrics
+	ep, err := udpnet.ListenConfig(id, registry, ucfg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+	fmt.Printf("node %s: UDP endpoint %s (batched=%v), ring of %d\n", id, ep.Addr(), ep.Batched(), len(ids))
+	tn, err := totem.Start(totem.Config{
+		ID:       id,
+		Endpoint: ep,
+		Members:  ids,
+		Ordering: orderingMode,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer tn.Stop()
+	rcfg := replication.Config{Node: tn, NodeID: id, Metrics: metrics}
+	if o.quorum {
+		rcfg.QuorumOf = len(ids)
+	}
+	rm, err := replication.New(rcfg)
+	if err != nil {
+		return err
+	}
+	defer rm.Stop()
+
+	// Group setup. CreateGroup is a delivered no-op on an existing id, so
+	// every process announces both groups and the first delivery wins —
+	// no coordinator needed. The waits below then synchronize the fleet.
+	const syncTimeout = 60 * time.Second
+	if err := rm.CreateGroup(domain.DefaultGatewayGroup, replication.Active, nil); err != nil {
+		return err
+	}
+	if err := rm.CreateGroup(demoGroup, style, []byte(demoKey)); err != nil {
+		return err
+	}
+	if err := rm.WaitForGroup(domain.DefaultGatewayGroup, syncTimeout); err != nil {
+		return fmt.Errorf("gateway group: %w", err)
+	}
+	if idx < o.replicas {
+		if err := rm.JoinGroup(demoGroup, &experiments.RegisterApp{}); err != nil {
+			return err
+		}
+	}
+	if err := rm.WaitForMembers(demoGroup, o.replicas, syncTimeout); err != nil {
+		return fmt.Errorf("demo group never reached %d replicas: %w", o.replicas, err)
+	}
+	if idx < o.replicas {
+		if err := rm.WaitSynced(demoGroup, syncTimeout); err != nil {
+			return fmt.Errorf("demo replica sync: %w", err)
+		}
+		fmt.Printf("node %s: hosting %s replica of %q (%d of %d)\n", id, style, demoKey, idx+1, o.replicas)
+	}
+
+	drainTimeout := o.drainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = 5 * time.Second
+	}
+	var gws []*core.Gateway
+	var gwAddrs []string
+	if o.listen != "" {
+		for i, addr := range strings.Split(o.listen, ",") {
+			gw, err := core.New(core.Config{
+				RM:         rm,
+				Group:      domain.DefaultGatewayGroup,
+				ListenAddr: strings.TrimSpace(addr),
+				Metrics:    metrics,
+				Log:        log,
+			})
+			if err != nil {
+				return fmt.Errorf("gateway %d: %w", i, err)
+			}
+			defer func() { _ = gw.Close() }()
+			if err := rm.WaitSynced(domain.DefaultGatewayGroup, syncTimeout); err != nil {
+				return fmt.Errorf("gateway group sync: %w", err)
+			}
+			gws = append(gws, gw)
+			gwAddrs = append(gwAddrs, gw.Addr())
+			fmt.Printf("gateway %d listening on %s\n", i, gw.Addr())
+		}
+		addrs := make([]interceptor.GatewayAddr, 0, len(gws))
+		for _, gw := range gws {
+			host, port := gw.HostPort()
+			addrs = append(addrs, interceptor.GatewayAddr{Host: host, Port: port})
+		}
+		ref := interceptor.StitchIOR(demoType, []byte(demoKey), addrs...)
+		fmt.Printf("object reference:\n%s\n", ref.String())
+	}
+	if ops != nil {
+		ops.SetReady(true)
+	}
+	fmt.Println("serving; interrupt to stop")
+	if o.onReady != nil {
+		o.onReady(gwAddrs)
+	}
+	if o.onObs != nil && ops != nil {
+		o.onObs(ops.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-o.stop:
+	}
+	if ops != nil {
+		ops.SetReady(false)
+	}
+	if len(gws) > 0 {
+		fmt.Println("draining gateways")
+		var wg sync.WaitGroup
+		for _, gw := range gws {
+			wg.Add(1)
+			go func(gw *core.Gateway) {
+				defer wg.Done()
+				_ = gw.Drain(drainTimeout)
+			}(gw)
+		}
+		wg.Wait()
+	}
 	fmt.Println("shutting down")
 	return nil
 }

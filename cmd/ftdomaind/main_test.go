@@ -1,14 +1,21 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"eternalgw/internal/experiments"
+	"eternalgw/internal/memnet"
 	"eternalgw/internal/orb"
+	"eternalgw/internal/udpnet"
 )
 
 func TestParseStyle(t *testing.T) {
@@ -178,4 +185,146 @@ func TestAdminReconfigEndpoints(t *testing.T) {
 		}
 		_ = resp.Body.Close()
 	}
+}
+
+func TestParseRegistry(t *testing.T) {
+	reg, ids, err := parseRegistry("b=127.0.0.1:7002, a=127.0.0.1:7001 ,c=127.0.0.1:7003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg) != 3 || reg["a"] != "127.0.0.1:7001" {
+		t.Fatalf("registry = %v", reg)
+	}
+	if fmt.Sprint(ids) != "[a b c]" {
+		t.Fatalf("ids = %v, want sorted [a b c]", ids)
+	}
+	for _, bad := range []string{"", "a", "=x", "a=", "a=1,a=2"} {
+		if _, _, err := parseRegistry(bad); err == nil {
+			t.Fatalf("parseRegistry(%q) accepted", bad)
+		}
+	}
+	f := filepath.Join(t.TempDir(), "reg")
+	if err := os.WriteFile(f, []byte("# ring\nn0=127.0.0.1:1 # first\n\nn1=127.0.0.1:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, ids, err = parseRegistry("@" + f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || reg["n1"] != "127.0.0.1:2" {
+		t.Fatalf("file registry = %v ids %v", reg, ids)
+	}
+}
+
+// TestRunNodeMultiProcess stands up a three-member ring with one runNode
+// per member — the one-ring-member-per-OS-process deployment, exercised
+// in-process so the test can drive the runNode lifecycle directly. Two
+// members host replicas by the sorted-registry convention; the third
+// hosts the gateway. A client invokes through the gateway and the
+// register's operations execute exactly once across the replicated
+// group.
+func TestRunNodeMultiProcess(t *testing.T) {
+	reg, err := freeUDPRegistry("mp/a", "mp/b", "mp/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := registrySpec(reg)
+	stops := make([]chan struct{}, 3)
+	dones := make([]chan error, 3)
+	ready := make(chan []string, 1)
+	for i, id := range []string{"mp/a", "mp/b", "mp/c"} {
+		stops[i] = make(chan struct{})
+		dones[i] = make(chan error, 1)
+		o := nodeOpts{
+			node: id, registry: spec, replicas: 2, styleStr: "active",
+			ordering: "ring", logLevel: "error", drainTimeout: 2 * time.Second,
+			stop: stops[i],
+		}
+		if id == "mp/c" {
+			o.listen = "127.0.0.1:0"
+			o.onReady = func(addrs []string) { ready <- addrs }
+		}
+		go func(o nodeOpts, done chan error) { done <- runNode(o) }(o, dones[i])
+	}
+	stopAll := func() {
+		for i := range stops {
+			close(stops[i])
+		}
+		for i, done := range dones {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("node %d: %v", i, err)
+				}
+			case <-time.After(20 * time.Second):
+				t.Errorf("node %d never shut down", i)
+			}
+		}
+	}
+	defer stopAll()
+
+	var addrs []string
+	select {
+	case addrs = <-ready:
+	case <-time.After(60 * time.Second):
+		t.Fatal("gateway node never became ready")
+	}
+	for i, done := range dones {
+		select {
+		case err := <-done:
+			t.Fatalf("node %d exited early: %v", i, err)
+		default:
+		}
+	}
+	conn, err := orb.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	opts := orb.InvokeOptions{Timeout: 10 * time.Second}
+	if _, err := conn.Call([]byte(demoKey), "set", experiments.OctetSeqArg([]byte("multi")), opts); err != nil {
+		t.Fatal(err)
+	}
+	r, err := conn.Call([]byte(demoKey), "append", experiments.OctetSeqArg([]byte("-process")), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := r.ReadLongLong(); ops != 2 {
+		t.Fatalf("ops after set+append = %d, want 2 (duplicated execution?)", ops)
+	}
+	r, err = conn.Call([]byte(demoKey), "read", nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(r.ReadOctetSeq()); got != "multi-process" {
+		t.Fatalf("register = %q", got)
+	}
+}
+
+// freeUDPRegistry binds each id once on an ephemeral port to discover a
+// free address, then releases it.
+func freeUDPRegistry(ids ...string) (udpnet.Registry, error) {
+	reg := make(udpnet.Registry, len(ids))
+	for _, id := range ids {
+		nid := memnet.NodeID(id)
+		probe, err := udpnet.Listen(nid, udpnet.Registry{nid: "127.0.0.1:0"})
+		if err != nil {
+			return nil, err
+		}
+		reg[nid] = probe.Addr()
+		if err := probe.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// registrySpec renders a registry back into the -registry flag syntax.
+func registrySpec(reg udpnet.Registry) string {
+	parts := make([]string, 0, len(reg))
+	for id, addr := range reg {
+		parts = append(parts, string(id)+"="+addr)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
 }

@@ -1,0 +1,44 @@
+//go:build linux && (amd64 || arm64)
+
+package udpnet
+
+import (
+	"syscall"
+	"testing"
+	"unsafe"
+)
+
+// TestMmsghdrLayout pins the struct mmsghdr ABI the raw syscalls depend
+// on: the kernel expects a 64-byte record (msghdr + msg_len padded to
+// msghdr alignment) on both architectures this file builds for.
+func TestMmsghdrLayout(t *testing.T) {
+	if got := unsafe.Sizeof(mmsghdr{}); got != 64 {
+		t.Fatalf("sizeof(mmsghdr) = %d, want 64", got)
+	}
+	if got := unsafe.Offsetof(mmsghdr{}.n); got != unsafe.Sizeof(syscall.Msghdr{}) {
+		t.Fatalf("offsetof(mmsghdr.n) = %d, want %d", got, unsafe.Sizeof(syscall.Msghdr{}))
+	}
+}
+
+// TestBatchedEnabledOnLinux pins that the default configuration actually
+// takes the sendmmsg/recvmmsg path on supported platforms — otherwise
+// the A/B benchmarks would silently compare the fallback with itself.
+func TestBatchedEnabledOnLinux(t *testing.T) {
+	reg := freeRegistry(t, "n")
+	e, err := Listen("n", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Close() }()
+	if !e.Batched() {
+		t.Fatal("default endpoint not batched on linux")
+	}
+	d, err := ListenConfig("n", Registry{"n": "127.0.0.1:0"}, Config{DisableBatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+	if d.Batched() {
+		t.Fatal("DisableBatching endpoint still batched")
+	}
+}

@@ -1,0 +1,87 @@
+package udpnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// frameFor builds a wire frame the way an endpoint's precomputed header
+// plus payload would appear on the wire.
+func frameFor(id string, payload []byte) []byte {
+	out := []byte{byte(len(id) >> 8), byte(len(id))}
+	out = append(out, id...)
+	return append(out, payload...)
+}
+
+func TestDecodeFrame(t *testing.T) {
+	cases := []struct {
+		name    string
+		frame   []byte
+		ok      bool
+		from    string
+		payload []byte
+	}{
+		{"empty", nil, false, "", nil},
+		{"one byte", []byte{0}, false, "", nil},
+		{"zero id length", []byte{0, 0, 'x'}, false, "", nil},
+		{"id length past end", []byte{0, 5, 'a', 'b'}, false, "", nil},
+		{"hostile max id length", append([]byte{0xff, 0xff}, make([]byte, 16)...), false, "", nil},
+		{"id exactly fills frame", frameFor("abc", nil), true, "abc", []byte{}},
+		{"ordinary", frameFor("node-7", []byte("payload")), true, "node-7", []byte("payload")},
+		{"binary id", frameFor("\x00\xff", []byte{1, 2, 3}), true, "\x00\xff", []byte{1, 2, 3}},
+		{"length prefix only", []byte{0, 1}, false, "", nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			from, payload, ok := decodeFrame(c.frame)
+			if ok != c.ok {
+				t.Fatalf("ok = %v, want %v", ok, c.ok)
+			}
+			if !ok {
+				return
+			}
+			if string(from) != c.from || !bytes.Equal(payload, c.payload) {
+				t.Fatalf("decoded (%q, %x), want (%q, %x)", from, payload, c.from, c.payload)
+			}
+		})
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder: it must
+// never panic, and whenever it accepts a frame, re-encoding the result
+// must reproduce the input (the decode is a bijection on valid frames).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0xff, 0xff, 1, 2, 3})
+	f.Add(frameFor("demo/p00", []byte("hello")))
+	f.Add(frameFor("x", nil))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		from, payload, ok := decodeFrame(frame)
+		if !ok {
+			return
+		}
+		if len(from) == 0 {
+			t.Fatalf("accepted empty sender id from %x", frame)
+		}
+		if got := frameFor(string(from), payload); !bytes.Equal(got, frame) {
+			t.Fatalf("decode(%x) = (%q, %x) does not re-encode to the input", frame, from, payload)
+		}
+	})
+}
+
+// TestDecodeFrameAliases pins the zero-copy property the receive loop
+// depends on: the decoded payload aliases the frame buffer, so
+// deliverFrame must copy before queueing.
+func TestDecodeFrameAliases(t *testing.T) {
+	frame := frameFor("n", []byte("abc"))
+	_, payload, ok := decodeFrame(frame)
+	if !ok {
+		t.Fatal("valid frame rejected")
+	}
+	frame[len(frame)-1] = 'z'
+	if string(payload) != "abz" {
+		t.Fatalf("payload = %q; expected it to alias the frame", payload)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpnet
+
+// The frozen syscall package on linux/amd64 lists SYS_RECVMMSG (299)
+// but predates sendmmsg; both numbers are pinned here from the kernel's
+// syscall_64.tbl.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package udpnet
+
+// From the generic unistd.h table (linux/arm64 uses the asm-generic
+// numbers).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -99,13 +99,19 @@ func TestBroadcastAfterClose(t *testing.T) {
 
 // TestTotemRingOverUDP runs a full totem ring over real UDP sockets:
 // the protocol must install a ring and deliver in identical total order
-// at every member.
+// at every member — on the batched (sendmmsg/recvmmsg) datapath and on
+// the per-datagram ablation path.
 func TestTotemRingOverUDP(t *testing.T) {
+	t.Run("batched", func(t *testing.T) { testTotemRingOverUDP(t, Config{}) })
+	t.Run("perdatagram", func(t *testing.T) { testTotemRingOverUDP(t, Config{DisableBatching: true}) })
+}
+
+func testTotemRingOverUDP(t *testing.T, cfg Config) {
 	ids := []memnet.NodeID{"u0", "u1", "u2"}
 	reg := freeRegistry(t, ids...)
 	nodes := make(map[memnet.NodeID]*totem.Node, len(ids))
 	for _, id := range ids {
-		ep, err := Listen(id, reg)
+		ep, err := ListenConfig(id, reg, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -92,18 +92,22 @@ END {
         b = mean(bsum, bcnt, k); a = mean(asum, acnt, k)
         printf "%-52s %14d %14d %8.2fx\n", k, b, a, b / a
     }
-    # After-only benchmarks whose name is a "Leader" variant of a before
-    # row (e.g. GatewayRoundTripLeader/small vs GatewayRoundTrip/small)
-    # are new-mode rows: score them against the ring-mode baseline so the
-    # leader-vs-ring speedup prints directly.
+    # After-only benchmarks that are a mode variant of a before row are
+    # scored against that baseline so the mode-vs-baseline speedup prints
+    # directly: "Leader" rows against their ring-mode row (e.g.
+    # GatewayRoundTripLeader/small vs GatewayRoundTrip/small), and
+    # real-socket UDP rows against the memnet row of the same shape (e.g.
+    # GatewayMultiClientUDP/batched/c=16/small vs
+    # GatewayMultiClient/c=16/small — the price of a real network).
     for (i = 1; i <= an; i++) {
         k = aorder[i]
         if (k in bcnt) continue
-        ring = k
-        sub(/Leader/, "", ring)
-        if (ring != k && (ring in bcnt)) {
-            b = mean(bsum, bcnt, ring); a = mean(asum, acnt, k)
-            printf "%-52s %14d %14d %8.2fx\n", k " (vs " ring ")", b, a, b / a
+        base = k
+        sub(/Leader/, "", base)
+        if (base == k) sub(/UDP\/(batched|perdatagram)/, "", base)
+        if (base != k && (base in bcnt)) {
+            b = mean(bsum, bcnt, base); a = mean(asum, acnt, k)
+            printf "%-52s %14d %14d %8.2fx\n", k " (vs " base ")", b, a, b / a
         } else {
             printf "%-52s %14s %14d %9s\n", k, "(new)", mean(asum, acnt, k), "-"
         }

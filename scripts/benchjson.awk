@@ -22,7 +22,7 @@
 }
 END {
     printf "{\n"
-    printf "  \"command\": \"make bench\",\n"
+    printf "  \"command\": \"%s\",\n", cmd == "" ? "make bench" : cmd
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
