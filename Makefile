@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check soak soak-reconfig soak-leader smoke-udp bench bench-smoke bench-baseline bench-compare bench-udp clean
+.PHONY: build test vet lint race check sim sim-long fuzz-smoke soak soak-reconfig soak-leader smoke-udp bench bench-smoke bench-baseline bench-compare bench-udp clean
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,46 @@ race:
 	$(GO) test -race -timeout 15m ./...
 
 # check is the full verification gate: static analysis plus the whole
-# test suite under the race detector, the reconfiguration and
-# leader-crash soaks at a higher repetition count than one `go test`
-# pass gives them, the multi-process UDP deployment smoke, and a
-# one-iteration benchmark smoke so a change that breaks benchmark setup
-# (but not the tests) cannot land silently.
-check: vet lint race soak-reconfig soak-leader smoke-udp bench-smoke
+# test suite under the race detector, the deterministic simulation
+# sweep, short decoder fuzzing, the reconfiguration and leader-crash
+# soaks at a higher repetition count than one `go test` pass gives
+# them, the multi-process UDP deployment smoke, and a one-iteration
+# benchmark smoke so a change that breaks benchmark setup (but not the
+# tests) cannot land silently.
+check: vet lint race sim fuzz-smoke soak-reconfig soak-leader smoke-udp bench-smoke
+
+# sim sweeps the deterministic simulation harness (internal/sim,
+# docs/SIMULATION.md) over a bounded seed budget across every schedule
+# class and workload, then proves the invariant checkers still have
+# teeth: with a known-critical guard disabled (replica dedup, the
+# membership-sync snapshot) a violating seed must turn up within the
+# same budget. Failing seeds replay exactly: simrun -seed N -workload W
+# -schedule S.
+SIM_SEEDS ?= 200
+SIM_TEETH_SEEDS ?= 30
+sim:
+	$(GO) run ./cmd/simrun -seeds $(SIM_SEEDS)
+	$(GO) run ./cmd/simrun -seeds $(SIM_TEETH_SEEDS) -mutate disable-dedup
+	$(GO) run ./cmd/simrun -seeds $(SIM_TEETH_SEEDS) -mutate disable-membership-sync
+
+# sim-long is the nightly-scale budget (override SIM_LONG_SEEDS).
+SIM_LONG_SEEDS ?= 2000
+sim-long:
+	$(GO) run ./cmd/simrun -seeds $(SIM_LONG_SEEDS) -metrics
+
+# fuzz-smoke runs the GIOP decoder fuzz targets briefly — enough to
+# catch a framing/decoder regression on the corpus frontier without
+# turning `make check` into a fuzzing campaign. Targets run one at a
+# time (the go tool rejects -fuzz matching multiple targets in one
+# invocation). The other packages' fuzz targets (udpnet, totem,
+# replication, ior) stay ad hoc: their seed corpora run as plain tests
+# under `race` already.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test ./internal/giop/ -fuzz FuzzUnmarshal -fuzztime $(FUZZTIME) -run xxx
+	$(GO) test ./internal/giop/ -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) -run xxx
+	$(GO) test ./internal/giop/ -fuzz FuzzDecodeReply -fuzztime $(FUZZTIME) -run xxx
+	$(GO) test ./internal/giop/ -fuzz FuzzReassembler -fuzztime $(FUZZTIME) -run xxx
 
 # soak slams one admission-controlled gateway at 4x its configured
 # in-flight window under the race detector while fault injection slows

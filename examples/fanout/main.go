@@ -1,0 +1,57 @@
+// Fan-out streaming through gateways: a publisher appends items to a
+// replicated group, and the domain's gateways push each ordered item to
+// unreplicated subscribers outside the domain — the paper's gateway
+// role as the boundary where replicated state meets thin clients, in
+// the streaming direction. Subscribers detect gaps and backfill from
+// any live gateway, so a gateway crash mid-stream loses nothing.
+//
+// The example runs the scenario in the deterministic simulator under a
+// loss storm plus gateway crashes, then audits that every subscriber
+// accepted every item in the published order.
+//
+// Run with: go run ./examples/fanout [seed]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"eternalgw/internal/sim"
+)
+
+func main() {
+	seed := uint64(7)
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseUint(os.Args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", os.Args[1], err)
+			os.Exit(2)
+		}
+		seed = v
+	}
+
+	fmt.Printf("fan-out streaming under loss storm, seed %d\n\n", seed)
+	res := sim.Run(sim.Config{
+		Seed:     seed,
+		Workload: sim.WorkloadFanout,
+		Schedule: sim.SchedStorm,
+	})
+
+	fmt.Printf("virtual time:  %d ms\n", res.Stats.VirtualMS)
+	fmt.Printf("trace:         %d events, hash %016x\n", res.Stats.Events, res.TraceHash)
+	fmt.Printf("faults fired:  %d\n", res.Stats.Faults)
+	fmt.Printf("ring installs: %d\n\n", res.Stats.Rings)
+
+	if res.Reason != "completed" || len(res.Violations) > 0 {
+		fmt.Printf("FAILED (%s):\n", res.Reason)
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		fmt.Printf("\nreplay with: go run ./cmd/simrun -seed %d -workload %s -schedule %s\n",
+			seed, sim.WorkloadFanout, sim.SchedStorm)
+		os.Exit(1)
+	}
+
+	fmt.Println("all subscribers accepted every item in published order")
+}

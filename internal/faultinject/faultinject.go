@@ -21,6 +21,15 @@ type Step struct {
 	Action func()
 }
 
+// FiredStep is one entry of a plan's event log: which step fired and at
+// which operation count. With count-based triggers and a seeded
+// generator the log is a pure function of (seed, workload), which is
+// what makes fault schedules replayable.
+type FiredStep struct {
+	Name string
+	AtOp uint64
+}
+
 // Plan is an ordered fault schedule. Create with NewPlan; drive it by
 // calling Tick once per completed operation. Plan is safe for concurrent
 // use.
@@ -29,7 +38,7 @@ type Plan struct {
 	steps []Step
 	next  int
 	ops   uint64
-	fired []string
+	fired []FiredStep
 }
 
 // NewPlan builds a plan from steps (sorted by AtOp).
@@ -48,7 +57,7 @@ func (p *Plan) Tick() {
 	var due []Step
 	for p.next < len(p.steps) && p.steps[p.next].AtOp <= p.ops {
 		due = append(due, p.steps[p.next])
-		p.fired = append(p.fired, p.steps[p.next].Name)
+		p.fired = append(p.fired, FiredStep{Name: p.steps[p.next].Name, AtOp: p.ops})
 		p.next++
 	}
 	p.mu.Unlock()
@@ -68,7 +77,32 @@ func (p *Plan) Ops() uint64 {
 func (p *Plan) Fired() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]string(nil), p.fired...)
+	out := make([]string, len(p.fired))
+	for i, f := range p.fired {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// FiredAt returns the plan's event log: every fired step with the
+// operation count at which it actually fired, in firing order.
+func (p *Plan) FiredAt() []FiredStep {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FiredStep(nil), p.fired...)
+}
+
+// Steps returns a copy of the plan's schedule (sorted by AtOp), fired or
+// not — the shape a harness dumps alongside a failing trace so the
+// schedule of a seed can be inspected without re-running it.
+func (p *Plan) Steps() []FiredStep {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]FiredStep, len(p.steps))
+	for i, s := range p.steps {
+		out[i] = FiredStep{Name: s.Name, AtOp: s.AtOp}
+	}
+	return out
 }
 
 // Done reports whether every step has fired.

@@ -34,6 +34,86 @@ func FuzzUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzDecodeRequest targets the request body decoders directly: a
+// valid frame header with an arbitrary body, across every protocol
+// minor and both byte orders, so the fuzzer spends its budget inside
+// decodeRequest* instead of bouncing off the framing checks. Any decode
+// that succeeds must survive a re-encode/re-decode round trip with the
+// identity fields intact — the property the gateway's forwarding path
+// (decode, rewrite object key, re-encode) depends on.
+func FuzzDecodeRequest(f *testing.F) {
+	for _, minor := range []byte{0, 1, 2} {
+		req, _ := EncodeRequestV(cdr.BigEndian, minor, Request{
+			RequestID: 5, ResponseExpected: true, ObjectKey: []byte("group/7"),
+			Operation: "transfer", Args: []byte{1, 2, 3, 4},
+			ServiceContexts: []ServiceContext{{ID: 9, Data: []byte("ctx")}},
+		})
+		f.Add(minor, false, req.Body)
+	}
+	f.Add(byte(0), true, []byte{})
+	f.Add(byte(2), true, []byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, minor byte, little bool, body []byte) {
+		order := cdr.BigEndian
+		if little {
+			order = cdr.LittleEndian
+		}
+		msg := Message{Header: Header{Major: 1, Minor: minor % 3, Order: order, Type: MsgRequest}, Body: body}
+		req, err := DecodeRequest(msg)
+		if err != nil {
+			return
+		}
+		re, err := EncodeRequestV(order, msg.Header.Minor, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		back, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if back.RequestID != req.RequestID || back.Operation != req.Operation ||
+			string(back.ObjectKey) != string(req.ObjectKey) {
+			t.Fatalf("round trip changed identity: %+v != %+v", back, req)
+		}
+	})
+}
+
+// FuzzDecodeReply is FuzzDecodeRequest for the reply decoders.
+func FuzzDecodeReply(f *testing.F) {
+	for _, minor := range []byte{0, 1, 2} {
+		rep, _ := EncodeReplyV(cdr.BigEndian, minor, Reply{
+			RequestID: 5, Status: ReplyNoException, Result: []byte{9, 9},
+			ServiceContexts: []ServiceContext{{ID: 1, Data: []byte("x")}},
+		})
+		f.Add(minor, false, rep.Body)
+	}
+	f.Add(byte(0), true, []byte{})
+	f.Add(byte(2), true, []byte{0, 0, 0, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, minor byte, little bool, body []byte) {
+		order := cdr.BigEndian
+		if little {
+			order = cdr.LittleEndian
+		}
+		msg := Message{Header: Header{Major: 1, Minor: minor % 3, Order: order, Type: MsgReply}, Body: body}
+		rep, err := DecodeReply(msg)
+		if err != nil {
+			return
+		}
+		re, err := EncodeReplyV(order, msg.Header.Minor, rep)
+		if err != nil {
+			t.Fatalf("decoded reply does not re-encode: %v", err)
+		}
+		back, err := DecodeReply(re)
+		if err != nil {
+			t.Fatalf("re-encoded reply does not decode: %v", err)
+		}
+		if back.RequestID != rep.RequestID || back.Status != rep.Status {
+			t.Fatalf("round trip changed identity: %+v != %+v", back, rep)
+		}
+	})
+}
+
 // FuzzReassembler feeds arbitrary byte streams through the fragment
 // reassembler.
 func FuzzReassembler(f *testing.F) {

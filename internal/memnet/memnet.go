@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,21 @@ import (
 
 // NodeID names an endpoint on the network.
 type NodeID string
+
+// Clock is the timer source used for delayed delivery. The default
+// implementation schedules on the runtime's wall clock; deterministic
+// simulation harnesses (internal/sim) inject a virtual clock whose
+// callbacks fire from a single-threaded event loop, so a seeded run
+// replays the same delivery schedule byte for byte.
+type Clock interface {
+	// AfterFunc arranges for f to run once d has elapsed.
+	AfterFunc(d time.Duration, f func())
+}
+
+// realClock is the default Clock: the runtime timer wheel.
+type realClock struct{}
+
+func (realClock) AfterFunc(d time.Duration, f func()) { time.AfterFunc(d, f) }
 
 // Packet is one datagram.
 type Packet struct {
@@ -52,6 +68,7 @@ type Network struct {
 	mu        sync.Mutex
 	nodes     map[NodeID]*Endpoint
 	rng       *rand.Rand
+	clock     Clock
 	lossRate  float64
 	dupRate   float64
 	maxDelay  time.Duration
@@ -92,11 +109,19 @@ func WithMaxDelay(d time.Duration) Option {
 	return optionFunc(func(n *Network) { n.maxDelay = d })
 }
 
+// WithClock sets the timer source for delayed delivery. The default is
+// the runtime's wall clock; simulation harnesses supply a virtual clock
+// so delivery timing is part of the deterministic event schedule.
+func WithClock(c Clock) Option {
+	return optionFunc(func(n *Network) { n.clock = c })
+}
+
 // New creates a network.
 func New(opts ...Option) *Network {
 	n := &Network{
 		nodes:     make(map[NodeID]*Endpoint),
 		rng:       rand.New(rand.NewSource(1)),
+		clock:     realClock{},
 		partition: make(map[NodeID]int),
 		crashed:   make(map[NodeID]bool),
 	}
@@ -181,14 +206,23 @@ func (n *Network) SetLoss(rate float64) {
 	n.lossRate = rate
 }
 
-// Nodes returns the ids of all attached endpoints.
+// Nodes returns the ids of all attached endpoints in sorted order. The
+// ordering is part of the determinism contract: code that fans out over
+// the node set (Broadcast, simulation drains) must consume the RNG in
+// the same per-destination order on every run with the same seed.
 func (n *Network) Nodes() []NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.sortedNodesLocked()
+}
+
+// sortedNodesLocked returns the attached ids sorted. Callers hold mu.
+func (n *Network) sortedNodesLocked() []NodeID {
 	out := make([]NodeID, 0, len(n.nodes))
 	for id := range n.nodes {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -234,7 +268,7 @@ func (n *Network) send(from, to NodeID, payload []byte) {
 	pkt := Packet{From: from, Payload: payload}
 	for i := 0; i < copies; i++ {
 		if delay > 0 {
-			time.AfterFunc(delay, func() { n.deliver(dst, pkt) })
+			n.clock.AfterFunc(delay, func() { n.deliver(dst, pkt) })
 		} else {
 			n.deliver(dst, pkt)
 		}
@@ -281,10 +315,7 @@ func (e *Endpoint) Broadcast(payload []byte) error {
 		return fmt.Errorf("memnet: node %q crashed", e.id)
 	}
 	e.net.mu.Lock()
-	ids := make([]NodeID, 0, len(e.net.nodes))
-	for id := range e.net.nodes {
-		ids = append(ids, id)
-	}
+	ids := e.net.sortedNodesLocked()
 	e.net.mu.Unlock()
 	for _, id := range ids {
 		e.net.send(e.id, id, payload)

@@ -1,0 +1,41 @@
+package sim
+
+import "eternalgw/internal/obs"
+
+// Metrics are the simulation harness's observability counters,
+// aggregated across runs (the simrun driver registers one set and
+// feeds every seed's result through it). All names are documented in
+// docs/OBSERVABILITY.md.
+type Metrics struct {
+	runs       *obs.Counter
+	violations *obs.Counter
+	events     *obs.Counter
+	faults     *obs.Counter
+	reissues   *obs.Counter
+	dedups     *obs.Counter
+	virtualMS  *obs.Counter
+}
+
+// NewMetrics registers the simulation counters on r (nil-safe: with a
+// nil registry the counters work but are never rendered).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		runs:       r.Counter("eternalgw_sim_runs_total", "Simulated runs executed.", nil),
+		violations: r.Counter("eternalgw_sim_violations_total", "Invariant violations found by the simulation checkers.", nil),
+		events:     r.Counter("eternalgw_sim_events_total", "Trace events recorded across simulated runs.", nil),
+		faults:     r.Counter("eternalgw_sim_faults_total", "Fault-schedule actions fired across simulated runs.", nil),
+		reissues:   r.Counter("eternalgw_sim_reissues_total", "Client reissues observed across simulated runs.", nil),
+		dedups:     r.Counter("eternalgw_sim_dedup_total", "Duplicate invocations suppressed across simulated runs.", nil),
+		virtualMS:  r.Counter("eternalgw_sim_virtual_ms_total", "Virtual milliseconds simulated across runs.", nil),
+	}
+}
+
+func (m *Metrics) observe(res *Result) {
+	m.runs.Inc()
+	m.violations.Add(uint64(len(res.Violations)))
+	m.events.Add(uint64(res.Stats.Events))
+	m.faults.Add(res.Stats.Faults)
+	m.reissues.Add(res.Stats.Reissues)
+	m.dedups.Add(res.Stats.Dedups)
+	m.virtualMS.Add(uint64(res.Stats.VirtualMS))
+}

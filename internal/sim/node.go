@@ -1,0 +1,1064 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eternalgw/internal/memnet"
+)
+
+// Virtual-time protocol constants. All values are in simulated time;
+// they are scaled roughly like the production stack's LAN tuning so the
+// schedules exercise the same races (token loss vs fail timeout, client
+// timeout vs reconfiguration, gap flush vs retransmission).
+const (
+	linkMaxDelay   = 250 * time.Microsecond
+	holdDelay      = 150 * time.Microsecond
+	maxAssign      = 16
+	tokenRetransTO = 2500 * time.Microsecond
+	failTO         = 8 * time.Millisecond
+	gatherTO       = 2 * time.Millisecond
+	installTO      = 6 * time.Millisecond
+	prepareTO      = 4 * time.Millisecond
+	snapTO         = 4 * time.Millisecond
+	installResend  = 1500 * time.Microsecond
+	gapTO          = 15 * time.Millisecond
+	bridgeResendTO = 5 * time.Millisecond
+	fetchBatch     = 32
+)
+
+// gwRecord is a gateway's memory of one operation identifier: the
+// paper's record store. admitted means the invocation is (or was)
+// headed into the total order; replied caches the response so reissues
+// are answered without re-execution; interested marks that this gateway
+// owes a thin client (or bridge origin) an answer.
+type gwRecord struct {
+	op         *Op
+	admitted   bool
+	replied    bool
+	val        uint64
+	interested bool
+	client     string
+}
+
+// node is one protocol node of a simulated domain: always a ring member
+// and a replica of every group (the sim models the paper's common
+// deployment where the domain is the unit of replication), optionally a
+// gateway serving thin clients and bridges.
+type node struct {
+	w    *world
+	dom  int
+	idx  int
+	id   memnet.NodeID
+	ep   *memnet.Endpoint
+	isGW bool
+	subs []memnet.NodeID // fan-out subscribers attached to this gateway
+
+	crashed bool
+	inc     uint64 // incarnation; invalidates timers on crash/restart
+
+	// Replicated state (transferred by membership sync).
+	apps      map[int]App
+	executed  map[int]map[OpKey]execRec
+	outbox    map[OpKey]*Op // emitted bridge ops owed to remote domains
+	log       []*entry
+	delivered uint64 // contiguous received prefix
+	execPos   uint64 // processed prefix (<= safe horizon)
+
+	// Volatile state (lost on crash).
+	acked    map[OpKey]bool // bridge ops known delivered remotely
+	pending  []*entry       // locally submitted, awaiting a token hold
+	records  map[OpKey]*gwRecord
+	recOrder []OpKey
+	pubs     []uint64 // fan-out items in ring order (gateway role)
+
+	// Ring state.
+	ring       ringID
+	members    []int
+	epoch      uint64 // max epoch seen; survives crash (stable storage)
+	lastQuorum ringID
+	lastRot    uint64
+	gapSince   int64
+
+	gathering      bool
+	heard          map[int]*joinInfo
+	pendingRing    ringID
+	pendingMembers []int
+	expectDonor    *joinInfo
+
+	// Two-round install state. frozen means this node has acknowledged
+	// a prepare and must not deliver/execute in its old ring until a
+	// commit at least as new as prepHigh arrives — the freeze is what
+	// keeps the fresh state it advertised from going stale while the
+	// installer picks the donor.
+	frozen      bool
+	prepHigh    ringID // highest ring this node acked a prepare for
+	prepRing    ringID // installer side: ring being prepared
+	prepMembers []int
+	prepAcks    map[int]*joinInfo
+
+	failTimer, gatherTimer, installTimer, snapTimer, retransTimer *Timer
+	prepTimer, prepAbortTimer                                     *Timer
+}
+
+func nodeName(dom, idx int) memnet.NodeID {
+	return memnet.NodeID(fmt.Sprintf("d%d.n%02d", dom, idx))
+}
+
+// after schedules f on the virtual clock, bound to this incarnation:
+// the callback is dropped if the node crashed, restarted or the run
+// ended in the meantime.
+func (n *node) after(d time.Duration, f func()) *Timer {
+	inc := n.inc
+	return n.w.clock.After(d, func() {
+		if n.w.done || n.crashed || n.inc != inc {
+			return
+		}
+		f()
+	})
+}
+
+func (n *node) trace(e Event) {
+	e.T = n.w.clock.Now()
+	e.Dom = n.dom
+	e.Node = n.idx
+	n.w.record(e)
+}
+
+func (n *node) hasQuorum() bool { return len(n.members) >= n.w.doms[n.dom].quorum }
+
+func (n *node) memberOf(idx int) bool {
+	for _, m := range n.members {
+		if m == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *node) get(seq uint64) *entry {
+	if seq == 0 || seq > uint64(len(n.log)) {
+		return nil
+	}
+	return n.log[seq-1]
+}
+
+func (n *node) store(seq uint64, e *entry) {
+	for uint64(len(n.log)) < seq {
+		n.log = append(n.log, nil)
+	}
+	if n.log[seq-1] == nil {
+		n.log[seq-1] = e
+	}
+	for n.delivered < uint64(len(n.log)) && n.log[n.delivered] != nil {
+		n.delivered++
+	}
+}
+
+// start arms the node's background timers at world boot.
+func (n *node) start() {
+	n.resetFail()
+	n.startBridgeResend()
+}
+
+// resetFail re-arms the token-loss detector. The deterministic
+// per-node stagger keeps a whole partition side from gathering at the
+// same virtual instant.
+func (n *node) resetFail() {
+	if n.failTimer != nil {
+		n.failTimer.Stop()
+	}
+	n.failTimer = n.after(failTO+time.Duration(n.idx)*131*time.Microsecond, func() {
+		n.startGather("fail-timeout")
+	})
+}
+
+// handle dispatches one received datagram.
+func (n *node) handle(m *msg) {
+	if n.crashed {
+		return
+	}
+	switch m.kind {
+	case mToken:
+		n.onToken(m)
+	case mEntry:
+		n.onEntry(m)
+	case mProbe:
+		n.onProbe(m)
+	case mJoin:
+		n.onJoin(m)
+	case mPrepare:
+		n.onPrepare(m)
+	case mPrepareAck:
+		n.onPrepareAck(m)
+	case mSnapReq:
+		n.onSnapReq(m)
+	case mSnap:
+		n.onSnap(m)
+	case mInstall:
+		n.adoptInstall(m.ring, m.members, m.snap, false)
+	case mRequest:
+		n.onRequest(m)
+	case mBridge:
+		n.onBridge(m)
+	case mBridgeAck:
+		n.acked[m.op.Key] = true
+	case mFetch:
+		n.onFetch(m)
+	}
+}
+
+// ---- total order: token, entries, execution ----
+
+func (n *node) onToken(m *msg) {
+	t := m.token
+	if t.ring != n.ring {
+		if n.ring.less(t.ring) {
+			n.startGather("foreign-token")
+		}
+		return
+	}
+	if n.frozen {
+		// Prepared for a newer ring: the state advertised in the ack
+		// must stay put, so no more holds in this ring. The fail timer
+		// keeps running — if the commit never comes it forces a fresh
+		// gather rather than a silent stall.
+		return
+	}
+	n.resetFail()
+	if n.retransTimer != nil {
+		n.retransTimer.Stop()
+	}
+	if t.rot <= n.lastRot {
+		return // duplicate delivery or retransmitted token we already held
+	}
+	n.holdToken(t)
+}
+
+// holdToken is one token hold: fill and serve retransmission requests,
+// assign sequence numbers to pending submissions (quorum rings only),
+// publish our received horizon on the all-received vector, execute up
+// to the safe horizon, and pass the token on.
+func (n *node) holdToken(t *token) {
+	n.lastRot = t.rot
+	n.w.doms[n.dom].lastHolder = n.idx
+
+	for s := n.delivered + 1; s <= t.max; s++ {
+		if n.get(s) == nil {
+			t.rtr[s] = true
+		}
+	}
+	for _, s := range t.sortedRtr() {
+		if e := n.get(s); e != nil {
+			delete(t.rtr, s)
+			n.bcastEntry(s, e)
+		}
+	}
+	if n.hasQuorum() {
+		for i := 0; i < maxAssign && len(n.pending) > 0; i++ {
+			e := n.pending[0]
+			n.pending = n.pending[1:]
+			t.max++
+			n.store(t.max, e)
+			n.bcastEntry(t.max, e)
+		}
+	}
+	t.ar[n.idx] = n.delivered
+	safe := t.max
+	for _, mb := range n.members {
+		if t.ar[mb] < safe {
+			safe = t.ar[mb]
+		}
+	}
+	n.execAdvance(safe)
+	n.gapCheck(t)
+	n.probeForeign()
+	n.passToken(t)
+}
+
+func (n *node) bcastEntry(seq uint64, e *entry) {
+	for _, mb := range n.members {
+		if mb == n.idx {
+			continue
+		}
+		n.w.send(n.ep, nodeName(n.dom, mb), &msg{kind: mEntry, dom: n.dom, from: n.idx, ring: n.ring, seq: seq, entry: e})
+	}
+}
+
+func (n *node) onEntry(m *msg) {
+	if m.ring != n.ring {
+		if n.ring.less(m.ring) {
+			n.startGather("foreign-entry")
+		}
+		return
+	}
+	n.store(m.seq, m.entry)
+}
+
+func (n *node) passToken(t *token) {
+	mi := 0
+	for i, mb := range n.members {
+		if mb == n.idx {
+			mi = i
+		}
+	}
+	next := n.members[(mi+1)%len(n.members)]
+	t2 := t.clone()
+	t2.rot++
+	out := &msg{kind: mToken, dom: n.dom, from: n.idx, token: t2}
+	n.after(holdDelay, func() {
+		if n.ring != t2.ring {
+			return
+		}
+		n.w.send(n.ep, nodeName(n.dom, next), out)
+		n.retransTimer = n.after(tokenRetransTO, func() {
+			if n.ring != t2.ring {
+				return
+			}
+			n.w.send(n.ep, nodeName(n.dom, next), out)
+		})
+	})
+}
+
+// gapCheck flushes permanently unrecoverable holes: a sequence whose
+// assigner crashed before any copy escaped can never be filled, so a
+// stalled received horizon forces a reconfiguration, whose install-time
+// compaction drops the hole.
+func (n *node) gapCheck(t *token) {
+	if n.delivered >= t.max {
+		n.gapSince = 0
+		return
+	}
+	now := n.w.clock.Now()
+	if n.gapSince == 0 {
+		n.gapSince = now
+		return
+	}
+	if now-n.gapSince > int64(gapTO) {
+		n.gapSince = 0
+		n.gathering = false
+		n.startGather("gap-timeout")
+	}
+}
+
+// probeForeign announces our ring to every domain node outside it. In a
+// steady full ring this is a no-op; after a partition heals the probes
+// are what tell two surviving fragments about each other and trigger
+// the merge.
+func (n *node) probeForeign() {
+	size := n.w.doms[n.dom].size
+	for i := 0; i < size; i++ {
+		if i == n.idx || n.memberOf(i) {
+			continue
+		}
+		n.w.send(n.ep, nodeName(n.dom, i), &msg{kind: mProbe, dom: n.dom, from: n.idx, ring: n.ring})
+	}
+}
+
+func (n *node) onProbe(m *msg) {
+	if m.ring == n.ring {
+		return
+	}
+	n.startGather("foreign-probe")
+}
+
+// execAdvance processes ordered entries up to the safe horizon. Only
+// quorum rings execute: a minority fragment freezes, so no operation
+// can be executed on two sides of a partition at different positions.
+func (n *node) execAdvance(safe uint64) {
+	if !n.hasQuorum() || n.frozen {
+		return
+	}
+	if safe > n.delivered {
+		safe = n.delivered
+	}
+	for n.execPos < safe {
+		e := n.log[n.execPos]
+		n.execPos++
+		if e.resp {
+			n.execResponse(e)
+		} else {
+			n.execInvocation(e, n.execPos)
+		}
+	}
+}
+
+func (n *node) execInvocation(e *entry, seq uint64) {
+	op := e.op
+	ex := n.executed[op.Group]
+	if rec, dup := ex[op.Key]; dup && !n.w.cfg.Mutations.DisableDedup {
+		n.trace(Event{Kind: EvDedup, Group: op.Group, Op: op.Key, Seq: rec.seq})
+		if !n.isGW && n.lowestLiveReplica() {
+			n.pending = append(n.pending, &entry{op: op, resp: true, val: rec.val, group: op.Group})
+		}
+		return
+	}
+	var emitted []*Op
+	val := n.apps[op.Group].Apply(op, seq, func(nested *Op) { emitted = append(emitted, nested) })
+	ex[op.Key] = execRec{seq: seq, val: val}
+	n.trace(Event{Kind: EvExec, Group: op.Group, Op: op.Key, Seq: seq, Val: val, Hash: n.apps[op.Group].Hash()})
+	for _, nop := range emitted {
+		n.outbox[nop.Key] = nop
+	}
+	if n.isGW {
+		rec := n.record(op)
+		rec.admitted = true
+		if op.Name == "pub" {
+			n.pubs = append(n.pubs, val)
+			n.pushItem(val)
+		}
+		return
+	}
+	n.pending = append(n.pending, &entry{op: op, resp: true, val: val, group: op.Group})
+	for _, nop := range emitted {
+		n.sendBridge(nop)
+	}
+}
+
+// lowestLiveReplica reports whether this node is the lowest-indexed
+// non-gateway member of the current ring — the designated re-responder
+// for duplicate deliveries, so a reissued op whose original responders
+// left the ring still gets its cached answer.
+func (n *node) lowestLiveReplica() bool {
+	for _, mb := range n.members {
+		if n.w.doms[n.dom].isGateway(mb) {
+			continue
+		}
+		return mb == n.idx
+	}
+	return false
+}
+
+func (n *node) execResponse(e *entry) {
+	if !n.isGW {
+		return
+	}
+	op := e.op
+	rec := n.record(op)
+	rec.admitted = true
+	if rec.replied {
+		n.trace(Event{Kind: EvDupResp, Group: e.group, Op: op.Key})
+		return
+	}
+	rec.replied = true
+	rec.val = e.val
+	n.trace(Event{Kind: EvRespRec, Group: e.group, Op: op.Key, Val: e.val})
+	if rec.interested && rec.client != "" {
+		n.w.send(n.ep, memnet.NodeID(rec.client), &msg{kind: mReply, dom: n.dom, from: n.idx, op: op, val: e.val})
+	}
+	if op.OriginDom >= 0 {
+		n.ackBridge(op)
+	}
+}
+
+// ---- gateway role: admission, records, bridges, fan-out ----
+
+func (n *node) record(op *Op) *gwRecord {
+	rec, ok := n.records[op.Key]
+	if !ok {
+		rec = &gwRecord{op: op}
+		n.records[op.Key] = rec
+		n.recOrder = append(n.recOrder, op.Key)
+	}
+	return rec
+}
+
+func (n *node) onRequest(m *msg) {
+	op := m.op
+	if rec, ok := n.records[op.Key]; ok {
+		rec.interested = true
+		rec.client = op.ReplyTo
+		if rec.replied {
+			n.trace(Event{Kind: EvRecordHit, Group: op.Group, Op: op.Key})
+			n.w.send(n.ep, memnet.NodeID(op.ReplyTo), &msg{kind: mReply, dom: n.dom, from: n.idx, op: op, val: rec.val})
+		}
+		return
+	}
+	rec := n.record(op)
+	rec.admitted = true
+	rec.interested = true
+	rec.client = op.ReplyTo
+	n.pending = append(n.pending, &entry{op: op, group: op.Group})
+}
+
+func (n *node) onBridge(m *msg) {
+	op := m.op
+	if rec, ok := n.records[op.Key]; ok {
+		if rec.replied {
+			n.ackBridge(op)
+			return
+		}
+		// Admitted but still unanswered. The response entries may have
+		// died with a wiped ring, and nothing else regenerates them for
+		// an uninterested record — so re-order the invocation: replica
+		// dedup collapses it and the designated re-responder resends
+		// the cached answer.
+		for _, e := range n.pending {
+			if e.op.Key == op.Key {
+				return
+			}
+		}
+		n.pending = append(n.pending, &entry{op: op, group: op.Group})
+		return
+	}
+	rec := n.record(op)
+	rec.admitted = true
+	n.pending = append(n.pending, &entry{op: op, group: op.Group})
+}
+
+// ackBridge tells every node of the origin domain that the nested
+// invocation is durably answered, stopping their resend loops.
+func (n *node) ackBridge(op *Op) {
+	size := n.w.doms[op.OriginDom].size
+	for i := 0; i < size; i++ {
+		n.w.send(n.ep, nodeName(op.OriginDom, i), &msg{kind: mBridgeAck, dom: n.dom, from: n.idx, op: op})
+	}
+	n.trace(Event{Kind: EvNestedAck, Group: op.Group, Op: op.Key})
+}
+
+// sendBridge forwards a nested invocation to every gateway of the
+// target domain (the gateways' duplicate suppression collapses the R
+// emitted copies into one admission — the paper's figure 4c).
+func (n *node) sendBridge(op *Op) {
+	d := n.w.doms[op.Dom]
+	for _, g := range d.gateways {
+		n.w.send(n.ep, nodeName(op.Dom, g), &msg{kind: mBridge, dom: op.Dom, from: n.idx, op: op})
+	}
+}
+
+// startBridgeResend arms the nested-invocation retry loop. Gateways
+// run it too: their acked map is volatile, so after a restart only the
+// resend → re-ack round trip can clear the snapshot-restored outbox.
+func (n *node) startBridgeResend() {
+	n.after(bridgeResendTO, func() {
+		n.resendBridges()
+		n.startBridgeResend()
+	})
+}
+
+func (n *node) resendBridges() {
+	keys := make([]OpKey, 0, len(n.outbox))
+	for k := range n.outbox {
+		if !n.acked[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	for _, k := range keys {
+		n.sendBridge(n.outbox[k])
+	}
+}
+
+func (n *node) pushItem(val uint64) {
+	for _, s := range n.subs {
+		n.trace(Event{Kind: EvPush, Val: val})
+		n.w.send(n.ep, s, &msg{kind: mPush, dom: n.dom, from: n.idx, val: val})
+	}
+}
+
+func (n *node) onFetch(m *msg) {
+	have := m.have
+	if have > uint64(len(n.pubs)) {
+		have = uint64(len(n.pubs))
+	}
+	end := have + fetchBatch
+	if end > uint64(len(n.pubs)) {
+		end = uint64(len(n.pubs))
+	}
+	if end == have {
+		return
+	}
+	items := append([]uint64(nil), n.pubs[have:end]...)
+	n.w.send(n.ep, memnet.NodeID(m.client), &msg{kind: mItems, dom: n.dom, from: n.idx, items: items})
+}
+
+// ---- membership: gather, donor selection, install ----
+
+func (n *node) myJoinInfo() *joinInfo {
+	return &joinInfo{idx: n.idx, epoch: n.epoch, lastQuorum: n.lastQuorum, delivered: n.delivered}
+}
+
+func (n *node) startGather(reason string) {
+	if n.gathering {
+		return
+	}
+	n.gathering = true
+	n.heard = map[int]*joinInfo{n.idx: n.myJoinInfo()}
+	n.trace(Event{Kind: EvFault, Note: "gather:" + reason})
+	size := n.w.doms[n.dom].size
+	for i := 0; i < size; i++ {
+		if i == n.idx {
+			continue
+		}
+		n.w.send(n.ep, nodeName(n.dom, i), &msg{kind: mJoin, dom: n.dom, from: n.idx, join: n.myJoinInfo()})
+	}
+	if n.gatherTimer != nil {
+		n.gatherTimer.Stop()
+	}
+	n.gatherTimer = n.after(gatherTO, n.finishGather)
+}
+
+func (n *node) onJoin(m *msg) {
+	if !n.gathering {
+		n.startGather("join")
+	}
+	if _, seen := n.heard[m.join.idx]; !seen {
+		// First time we hear this peer in the round: answer directly in
+		// case our broadcast predated its gather. The seen-set makes the
+		// exchange terminate.
+		n.w.send(n.ep, nodeName(n.dom, m.join.idx), &msg{kind: mJoin, dom: n.dom, from: n.idx, join: n.myJoinInfo()})
+	}
+	n.heard[m.join.idx] = m.join
+}
+
+func (n *node) finishGather() {
+	ids := make([]int, 0, len(n.heard))
+	for i := range n.heard {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	if n.idx != ids[0] {
+		// Someone lower-indexed installs; if no install arrives, retry.
+		if n.installTimer != nil {
+			n.installTimer.Stop()
+		}
+		n.installTimer = n.after(installTO, func() {
+			n.gathering = false
+			n.startGather("install-timeout")
+		})
+		return
+	}
+	maxEpoch := n.epoch
+	for _, i := range ids {
+		if ji := n.heard[i]; ji.epoch > maxEpoch {
+			maxEpoch = ji.epoch
+		}
+	}
+	n.startPrepare(ringID{epoch: maxEpoch + 1, installer: n.idx}, ids)
+}
+
+// startPrepare opens the install's first round: freeze every member and
+// collect its state description as of the freeze. Gather-time joinInfos
+// only elect the installer — they go stale the moment an old quorum
+// ring executes another entry, and a donor picked from stale infos can
+// miss an executed suffix. The prepare acks cannot: once a member acks,
+// it stops delivering and executing until a commit, so the donor chosen
+// from acks still covers every executed position at commit time.
+func (n *node) startPrepare(ring ringID, members []int) {
+	if ring.less(n.prepHigh) {
+		// Already acked someone else's newer prepare; let that round
+		// win, falling back to a fresh gather if its commit never lands.
+		if n.installTimer != nil {
+			n.installTimer.Stop()
+		}
+		n.installTimer = n.after(installTO, func() {
+			n.gathering = false
+			n.startGather("install-timeout")
+		})
+		return
+	}
+	n.prepRing = ring
+	n.prepMembers = append([]int(nil), members...)
+	n.prepAcks = make(map[int]*joinInfo)
+	n.frozen = true
+	n.prepHigh = ring
+	out := &msg{kind: mPrepare, dom: n.dom, from: n.idx, ring: ring, members: n.prepMembers}
+	send := func() {
+		for _, mb := range n.prepMembers {
+			if mb != n.idx && n.prepAcks[mb] == nil {
+				n.w.send(n.ep, nodeName(n.dom, mb), out)
+			}
+		}
+	}
+	send()
+	var resend func()
+	resend = func() {
+		if n.prepRing != ring {
+			return
+		}
+		send()
+		n.prepTimer = n.after(installResend, resend)
+	}
+	if n.prepTimer != nil {
+		n.prepTimer.Stop()
+	}
+	n.prepTimer = n.after(installResend, resend)
+	if n.prepAbortTimer != nil {
+		n.prepAbortTimer.Stop()
+	}
+	n.prepAbortTimer = n.after(prepareTO, func() {
+		if n.prepRing != ring {
+			return
+		}
+		n.prepRing = ringID{}
+		n.gathering = false
+		n.startGather("prepare-timeout")
+	})
+	n.maybeCommit()
+}
+
+func (n *node) onPrepare(m *msg) {
+	if !n.ring.less(m.ring) {
+		return
+	}
+	ok := false
+	for _, mb := range m.members {
+		if mb == n.idx {
+			ok = true
+		}
+	}
+	if !ok {
+		return
+	}
+	// Freeze first, then describe: nothing may advance between the two.
+	n.frozen = true
+	if n.prepHigh.less(m.ring) {
+		n.prepHigh = m.ring
+	}
+	n.w.send(n.ep, nodeName(n.dom, m.from), &msg{kind: mPrepareAck, dom: n.dom, from: n.idx, ring: m.ring, join: n.myJoinInfo()})
+}
+
+func (n *node) onPrepareAck(m *msg) {
+	if m.ring != n.prepRing {
+		return
+	}
+	n.prepAcks[m.join.idx] = m.join
+	n.maybeCommit()
+}
+
+// maybeCommit closes the prepare round once every member has acked:
+// pick the donor from the fresh infos (self included, read now — the
+// installer is frozen too) and either commit immediately with our own
+// snapshot or fetch the donor's.
+func (n *node) maybeCommit() {
+	if n.prepRing == (ringID{}) {
+		return
+	}
+	for _, mb := range n.prepMembers {
+		if mb != n.idx && n.prepAcks[mb] == nil {
+			return
+		}
+	}
+	ring, members := n.prepRing, n.prepMembers
+	n.prepAcks[n.idx] = n.myJoinInfo()
+	donor := n.prepAcks[n.idx]
+	for _, mb := range members {
+		if ji := n.prepAcks[mb]; betterDonor(ji, donor) {
+			donor = ji
+		}
+	}
+	n.prepRing = ringID{}
+	if n.prepTimer != nil {
+		n.prepTimer.Stop()
+	}
+	if n.prepAbortTimer != nil {
+		n.prepAbortTimer.Stop()
+	}
+	quorum := len(members) >= n.w.doms[n.dom].quorum
+	if !quorum || donor.idx == n.idx {
+		// Minority rings never transfer state (their members' logs may
+		// legitimately diverge until a quorum ring re-converges them),
+		// and a self-donor needs no fetch.
+		var snap *snapshot
+		if quorum {
+			snap = n.makeSnapshot()
+		}
+		n.doInstall(ring, members, snap)
+		return
+	}
+	n.pendingRing = ring
+	n.pendingMembers = members
+	n.expectDonor = donor
+	n.w.send(n.ep, nodeName(n.dom, donor.idx), &msg{kind: mSnapReq, dom: n.dom, from: n.idx, ring: ring})
+	if n.snapTimer != nil {
+		n.snapTimer.Stop()
+	}
+	n.snapTimer = n.after(snapTO, func() {
+		n.gathering = false
+		n.startGather("snap-timeout")
+	})
+}
+
+func (n *node) onSnapReq(m *msg) {
+	n.w.send(n.ep, nodeName(n.dom, m.from), &msg{
+		kind: mSnap, dom: n.dom, from: n.idx, ring: m.ring,
+		snap: n.makeSnapshot(), join: n.myJoinInfo(),
+	})
+}
+
+func (n *node) onSnap(m *msg) {
+	if !n.gathering || m.ring != n.pendingRing || n.expectDonor == nil || m.from != n.expectDonor.idx {
+		return
+	}
+	// Donor restarted between its join and our request: its state no
+	// longer covers what it advertised, so the snapshot could roll the
+	// group back. Re-gather instead of installing it.
+	if m.join.lastQuorum != n.expectDonor.lastQuorum || m.join.delivered < n.expectDonor.delivered {
+		n.gathering = false
+		n.startGather("donor-changed")
+		return
+	}
+	if n.snapTimer != nil {
+		n.snapTimer.Stop()
+	}
+	n.doInstall(n.pendingRing, n.pendingMembers, m.snap)
+}
+
+func (n *node) doInstall(ring ringID, members []int, snap *snapshot) {
+	out := &msg{kind: mInstall, dom: n.dom, from: n.idx, ring: ring, members: members, snap: snap}
+	for _, mb := range members {
+		if mb == n.idx {
+			continue
+		}
+		n.w.send(n.ep, nodeName(n.dom, mb), out)
+	}
+	n.after(installResend, func() {
+		if n.ring != ring {
+			return
+		}
+		for _, mb := range members {
+			if mb != n.idx {
+				n.w.send(n.ep, nodeName(n.dom, mb), out)
+			}
+		}
+	})
+	n.adoptInstall(ring, members, snap, true)
+}
+
+// adoptInstall transitions to a newly installed ring: adopt the donor
+// snapshot (unless the membership-sync mutation is disabled — the
+// checker teeth), record the view, rebuild the gateway role's derived
+// state, and re-enqueue every admitted-but-unanswered interested
+// record (the paper's no-lost-requests discipline). The installer also
+// regenerates the token and takes the first hold.
+func (n *node) adoptInstall(ring ringID, members []int, snap *snapshot, installer bool) {
+	if n.crashed || ring == n.ring || ring.less(n.ring) {
+		return
+	}
+	ok := false
+	for _, mb := range members {
+		if mb == n.idx {
+			ok = true
+		}
+	}
+	if !ok {
+		return
+	}
+	n.ring = ring
+	n.members = append([]int(nil), members...)
+	if ring.epoch > n.epoch {
+		n.epoch = ring.epoch
+	}
+	n.lastRot = 0
+	n.gathering = false
+	n.gapSince = 0
+	n.prepRing = ringID{}
+	for _, t := range []*Timer{n.gatherTimer, n.installTimer, n.snapTimer, n.retransTimer, n.prepTimer, n.prepAbortTimer} {
+		t.Stop()
+	}
+	// Unfreeze only if this commit is at least as new as every prepare
+	// we acked: a ring older than prepHigh must not resume executing
+	// with the state a newer pending install was promised.
+	if !ring.less(n.prepHigh) {
+		n.frozen = false
+	}
+	q := len(members) >= n.w.doms[n.dom].quorum
+	// Only quorum installs replace state. A minority install must not
+	// rewrite member logs: compaction renumbers undelivered entries,
+	// and rewriting a log that held a prefix executed under an earlier
+	// quorum ring breaks the donor-rule induction that keeps executed
+	// positions stable across reconfigurations (a later quorum install
+	// could pick the rewritten log as donor and reassign those seqs).
+	// Minority rings never assign or execute, so their members' logs
+	// can stay divergent until a quorum ring re-converges them.
+	if q && snap != nil && !n.w.cfg.Mutations.DisableMembershipSync {
+		n.adoptSnapshot(snap)
+	}
+	if q {
+		n.lastQuorum = ring
+	}
+	n.trace(Event{Kind: EvRing, Quorum: q, Note: fmt.Sprintf("%s%v", ring, members)})
+	n.w.stats.Rings++
+	if n.isGW {
+		n.rebuildFromLog()
+		n.reenqueueInterested()
+	}
+	n.resetFail()
+	if installer && !n.frozen {
+		t := &token{ring: ring, rot: 1, max: n.delivered, ar: make(map[int]uint64), rtr: make(map[uint64]bool)}
+		for _, mb := range members {
+			t.ar[mb] = 0
+		}
+		t.ar[n.idx] = n.delivered
+		n.holdToken(t)
+	}
+}
+
+// adoptSnapshot installs the donor's state, compacting the log: the
+// delivered prefix keeps its positions (nothing executed ever moves),
+// received-but-undelivered tail entries are renumbered contiguously,
+// unrecoverable holes are dropped. State transfer only ever moves a
+// node forward: the old ring keeps executing while the gather and
+// snapshot request are in flight, so a member can be ahead of the
+// donor's execution position at install — its local state is the same
+// history executed further (execution happens only in quorum rings,
+// which are totally ordered, and the donor rule bounds every executed
+// position by the donor's delivered horizon), so it is kept.
+// Everything mutable is deep-copied — the snapshot object is shared by
+// all adopters.
+func (n *node) adoptSnapshot(s *snapshot) {
+	log := make([]*entry, 0, len(s.log))
+	log = append(log, s.log[:s.delivered]...)
+	for _, e := range s.log[s.delivered:] {
+		if e != nil {
+			log = append(log, e)
+		}
+	}
+	n.log = log
+	n.delivered = uint64(len(log))
+	if n.execPos < s.execPos {
+		n.execPos = s.execPos
+		n.apps = make(map[int]App, len(s.apps))
+		for g, a := range s.apps {
+			n.apps[g] = a.Clone()
+		}
+		n.executed = make(map[int]map[OpKey]execRec, len(s.executed))
+		for g, m := range s.executed {
+			cp := make(map[OpKey]execRec, len(m))
+			for k, v := range m {
+				cp[k] = v
+			}
+			n.executed[g] = cp
+		}
+		n.outbox = make(map[OpKey]*Op, len(s.outbox))
+		for k, v := range s.outbox {
+			n.outbox[k] = v
+		}
+	}
+	if n.lastQuorum.less(s.lastQuorum) {
+		n.lastQuorum = s.lastQuorum
+	}
+}
+
+func (n *node) makeSnapshot() *snapshot {
+	s := &snapshot{
+		log:        append([]*entry(nil), n.log...),
+		delivered:  n.delivered,
+		execPos:    n.execPos,
+		lastQuorum: n.lastQuorum,
+		apps:       make(map[int]App, len(n.apps)),
+		executed:   make(map[int]map[OpKey]execRec, len(n.executed)),
+		outbox:     make(map[OpKey]*Op, len(n.outbox)),
+	}
+	for g, a := range n.apps {
+		s.apps[g] = a.Clone()
+	}
+	for g, m := range n.executed {
+		cp := make(map[OpKey]execRec, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		s.executed[g] = cp
+	}
+	for k, v := range n.outbox {
+		s.outbox[k] = v
+	}
+	return s
+}
+
+// rebuildFromLog reconstructs the gateway's derived state (record
+// store, fan-out history) from the adopted log, merging with what the
+// gateway already knew: interested/client flags are local knowledge and
+// survive; admitted/replied come from the order itself.
+func (n *node) rebuildFromLog() {
+	n.pubs = n.pubs[:0]
+	pubbed := make(map[OpKey]bool)
+	for i := uint64(0); i < n.delivered; i++ {
+		e := n.log[i]
+		if e == nil {
+			continue
+		}
+		rec := n.record(e.op)
+		rec.admitted = true
+		if e.resp && !rec.replied {
+			rec.replied = true
+			rec.val = e.val
+		}
+		// A reissued op can be ordered twice; the replicas dedup at
+		// execution, so the rebuilt publication stream must too.
+		if !e.resp && e.op.Name == "pub" && !pubbed[e.op.Key] {
+			pubbed[e.op.Key] = true
+			n.pubs = append(n.pubs, uint64(len(n.pubs)+1))
+		}
+	}
+}
+
+// reenqueueInterested resubmits every admitted, unanswered operation
+// this gateway owes someone. Replica-side duplicate detection collapses
+// re-submissions that survived in the adopted log; ones that were lost
+// with a dead ring get ordered for the first time. This is what makes
+// "no lost admitted requests" hold across reconfigurations.
+func (n *node) reenqueueInterested() {
+	for _, k := range n.recOrder {
+		rec := n.records[k]
+		if rec.interested && !rec.replied && rec.op != nil {
+			n.pending = append(n.pending, &entry{op: rec.op, group: rec.op.Group})
+		}
+	}
+}
+
+// ---- crash / restart ----
+
+func (n *node) crash() {
+	n.crashed = true
+	n.inc++
+	n.w.net.Crash(n.id)
+}
+
+// restart brings the node back with empty state (only the epoch
+// survives, modeling the small stable-storage item that keeps ring ids
+// monotonic). The node rejoins by gathering; membership sync restores
+// its state from the donor snapshot.
+func (n *node) restart() {
+	n.crashed = false
+	n.inc++
+	n.trace(Event{Kind: EvRestart})
+	n.w.net.Restart(n.id)
+	d := n.w.doms[n.dom]
+	n.apps = d.newApps()
+	n.executed = make(map[int]map[OpKey]execRec)
+	for g := range n.apps {
+		n.executed[g] = make(map[OpKey]execRec)
+	}
+	n.outbox = make(map[OpKey]*Op)
+	n.acked = make(map[OpKey]bool)
+	n.log = nil
+	n.delivered = 0
+	n.execPos = 0
+	n.pending = nil
+	n.records = make(map[OpKey]*gwRecord)
+	n.recOrder = nil
+	n.pubs = nil
+	n.ring = ringID{}
+	n.members = []int{n.idx}
+	n.lastQuorum = ringID{}
+	n.lastRot = 0
+	n.gathering = false
+	n.gapSince = 0
+	n.frozen = false
+	n.prepHigh = ringID{}
+	n.prepRing = ringID{}
+	n.prepAcks = nil
+	n.startBridgeResend()
+	n.startGather("restart")
+}
