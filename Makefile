@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check sim sim-long fuzz-smoke soak soak-reconfig soak-leader smoke-udp bench bench-smoke bench-baseline bench-compare bench-udp clean
+.PHONY: build test vet lint lint-fast race check sim sim-long fuzz-smoke soak soak-reconfig soak-leader smoke-udp bench bench-smoke bench-baseline bench-compare bench-udp clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ lint:
 	$(GO) build -o bin/gwlint ./cmd/gwlint
 	$(GO) vet -vettool=$(CURDIR)/bin/gwlint ./...
 	./bin/gwlint ./...
+
+# lint-fast is the inner-loop variant: vettool mode only, so the go
+# tool's per-package caching makes a clean re-run near-instant. It skips
+# the standalone module-mode pass (metric/doc sync, duplicate
+# registration, lock-order stitching across packages) — run `make lint`
+# before pushing.
+lint-fast:
+	$(GO) build -o bin/gwlint ./cmd/gwlint
+	$(GO) vet -vettool=$(CURDIR)/bin/gwlint ./...
 
 # race runs the whole test suite under the race detector. (It was a
 # recipe-less phony target for a while, which made `make check` pass

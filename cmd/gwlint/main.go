@@ -1,6 +1,7 @@
 // Command gwlint runs the repository's domain analyzers
 // (internal/analysis): arenaalias, looplock, completedno, metricname,
-// syncextra. It speaks two protocols:
+// syncextra, simdet, gospawn, lockorder, wiresym. It speaks two
+// protocols:
 //
 //	go vet -vettool=$(pwd)/bin/gwlint ./...
 //
@@ -25,9 +26,13 @@ import (
 	"eternalgw/internal/analysis"
 	"eternalgw/internal/analysis/arenaalias"
 	"eternalgw/internal/analysis/completedno"
+	"eternalgw/internal/analysis/gospawn"
+	"eternalgw/internal/analysis/lockorder"
 	"eternalgw/internal/analysis/looplock"
 	"eternalgw/internal/analysis/metricname"
+	"eternalgw/internal/analysis/simdet"
 	"eternalgw/internal/analysis/syncextra"
+	"eternalgw/internal/analysis/wiresym"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -36,10 +41,15 @@ var analyzers = []*analysis.Analyzer{
 	completedno.Analyzer,
 	metricname.Analyzer,
 	syncextra.Analyzer,
+	simdet.Analyzer,
+	gospawn.Analyzer,
+	lockorder.Analyzer,
+	wiresym.Analyzer,
 }
 
 var globals = []analysis.GlobalCheck{
 	metricname.DocSync,
+	lockorder.Global,
 }
 
 func main() {
@@ -49,6 +59,7 @@ func main() {
 	// every package re-vets.
 	vFlag := flag.String("V", "", "print version and exit (cmd/go protocol)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go protocol)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout (module mode only)")
 	flag.Usage = usage
 	flag.Parse()
 	if *vFlag != "" {
@@ -82,6 +93,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gwlint:", err)
 		os.Exit(1)
+	}
+	if *jsonFlag {
+		os.Exit(analysis.RunModuleWith(os.Stdout, dir, args, analyzers, globalChecks, analysis.PrintJSON))
 	}
 	os.Exit(analysis.RunModule(os.Stderr, dir, args, analyzers, globalChecks))
 }

@@ -100,6 +100,11 @@ func (e *exchange) SetState(state []byte) error {
 	r := cdr.NewReader(state, cdr.BigEndian)
 	e.trades = r.ReadLongLong()
 	n := r.ReadULong()
+	// Symbol (string, ≥4 bytes) plus position (longlong, 8 bytes) per
+	// entry: reject counts the payload cannot hold before allocating.
+	if r.Err() != nil || int(n) > r.Remaining()/12 {
+		return fmt.Errorf("stocktrading: set state: bad position count %d", n)
+	}
 	e.positions = make(map[string]int64, n)
 	for i := uint32(0); i < n; i++ {
 		k := r.ReadString()

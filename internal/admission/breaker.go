@@ -49,12 +49,25 @@ func (b *breaker) sample(now time.Time) bool {
 		return false
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if !b.lastSample.IsZero() && now.Sub(b.lastSample) < b.interval {
-		return b.open
+		open := b.open
+		b.mu.Unlock()
+		return open
 	}
 	b.lastSample = now
-	b.lastValue = b.signal()
+	b.mu.Unlock()
+	// The signal runs outside mu: it walks replication state (the totem
+	// send backlog, every pending-call shard), so holding the breaker
+	// lock across it would serialize concurrent admission decisions
+	// behind the walk — the very fast path the interval gate exists to
+	// protect — and hands the lock to code whose own acquisitions are
+	// invisible here (gwlint lockorder). Claiming lastSample before
+	// releasing keeps the walk to one caller per interval; callers that
+	// lose the claim return the previous verdict.
+	v := b.signal()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastValue = v
 	if b.lastValue >= b.threshold {
 		if b.aboveSince.IsZero() {
 			b.aboveSince = now

@@ -34,6 +34,7 @@ import (
 var (
 	loadOnce sync.Once
 	loadL    *analysis.Loader
+	loadPkgs []*analysis.Package
 	loadErr  error
 )
 
@@ -44,9 +45,83 @@ func sharedLoader() (*analysis.Loader, error) {
 			loadErr = err
 			return
 		}
-		loadL, _, loadErr = analysis.LoadModule(moduleDir)
+		loadL, loadPkgs, loadErr = analysis.LoadModule(moduleDir)
 	})
 	return loadL, loadErr
+}
+
+// Loader returns the shared module loader, for driver-level tests that
+// invoke module-mode checks (analysis.GlobalCheck) directly.
+func Loader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("analysistest: load module: %v", err)
+	}
+	return l
+}
+
+// ModulePackage returns one of the module's own type-checked packages,
+// so a global check can be run over a mix of real and testdata packages.
+func ModulePackage(t *testing.T, path string) *analysis.Package {
+	t.Helper()
+	Loader(t)
+	for _, pkg := range loadPkgs {
+		if pkg.PkgPath == path {
+			return pkg
+		}
+	}
+	t.Fatalf("analysistest: module package %q not loaded", path)
+	return nil
+}
+
+// Check type-checks testdata/src/<pkg> against the real module and
+// returns it without running any analyzer, for driver-level tests.
+func Check(t *testing.T, pkg string) *analysis.Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no .go files in %s", dir)
+	}
+	l := Loader(t)
+	tp, err := l.CheckFiles("gwlint-testdata/"+pkg, files)
+	if err != nil {
+		t.Fatalf("analysistest: type-check %s: %v", dir, err)
+	}
+	return tp
+}
+
+// Diagnostics type-checks one source string as an ad-hoc package and
+// returns the analyzer's surviving findings. Mutation-style tests use it
+// in pairs: a known-good snippet must stay silent, and the same snippet
+// with one invariant deliberately broken must fire.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, name, src string) []analysis.Diagnostic {
+	t.Helper()
+	l := Loader(t)
+	file := filepath.Join(t.TempDir(), name+".go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	tp, err := l.CheckFiles("gwlint-mutation/"+name, []string{file})
+	if err != nil {
+		t.Fatalf("analysistest: type-check %s: %v", name, err)
+	}
+	diags, err := analysis.RunAnalyzers(l.Fset, tp.Files, tp.Types, tp.Info, l.ModuleDir, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+	return diags
 }
 
 // expectation is one want regexp awaiting a diagnostic.
@@ -63,30 +138,8 @@ type expectation struct {
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
 
-	dir := filepath.Join("testdata", "src", pkg)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
-	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
-	}
-	sort.Strings(files)
-	if len(files) == 0 {
-		t.Fatalf("analysistest: no .go files in %s", dir)
-	}
-
-	l, err := sharedLoader()
-	if err != nil {
-		t.Fatalf("analysistest: load module: %v", err)
-	}
-	tp, err := l.CheckFiles("gwlint-testdata/"+pkg, files)
-	if err != nil {
-		t.Fatalf("analysistest: type-check %s: %v", dir, err)
-	}
+	l := Loader(t)
+	tp := Check(t, pkg)
 	diags, err := analysis.RunAnalyzers(l.Fset, tp.Files, tp.Types, tp.Info, l.ModuleDir, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: run %s: %v", a.Name, err)

@@ -50,8 +50,8 @@ import (
 // comments, so they are invisible across package boundaries — which is
 // why the cross-package defaults are spelled out here).
 var defaultArena = map[string]bool{
-	"eternalgw/internal/totem.Delivery":       true,
-	"eternalgw/internal/totem.Event":          true,
+	"eternalgw/internal/totem.Delivery":         true,
+	"eternalgw/internal/totem.Event":            true,
 	"eternalgw/internal/replication.HeaderView": true,
 	"eternalgw/internal/replication.Message":    true,
 }

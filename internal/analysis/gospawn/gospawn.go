@@ -1,0 +1,156 @@
+// Package gospawn demands a provable lifecycle for every go statement.
+//
+// A gateway fleet multiplexing a million connections cannot afford
+// fire-and-forget goroutines: an unbounded spawn site is a memory leak
+// under load and an ordering hazard at shutdown (PR 4 fixed exactly
+// such a bug by hand in the forwarder; this analyzer makes the class
+// impossible to reintroduce). Every go statement must carry one of the
+// accepted proofs:
+//
+//   - accounting: a sync.WaitGroup.Add call textually precedes the
+//     spawn in the enclosing function (the Add-before-spawn idiom), or
+//     the spawned body transitively calls sync.WaitGroup.Done;
+//   - signalling: the spawned body transitively closes a channel, or
+//     blocks on a channel receive (a unary <-, a select comm case, or a
+//     range over a channel) — a done/stop channel or context.Done ties
+//     the goroutine to its owner's lifetime;
+//   - bounded handoff: the spawned body's only channel interaction is a
+//     send on a channel every make site of which has constant positive
+//     capacity, so the goroutine provably terminates.
+//
+// The transitive search follows static same-package callees of the
+// spawned body (via internal/analysis/callgraph) but not nested go
+// statements — a nested spawn needs its own proof. Spawns whose
+// function cannot be resolved statically (a function value, a method of
+// another package) prove nothing and are reported; if the lifecycle is
+// real but invisible, say why with //lint:allow gospawn <reason>.
+package gospawn
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eternalgw/internal/analysis"
+	"eternalgw/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gospawn",
+	Doc:  "requires every go statement to have a provable lifecycle (WaitGroup, done channel, or bounded handoff)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.New(pass.Files, pass.TypesInfo)
+	chans := g.Chans()
+	p := &prover{pass: pass, g: g, chans: chans}
+
+	for _, fn := range g.Funcs() {
+		fd := g.Decl(fn)
+		// Positions of WaitGroup.Add calls in this declaration, for the
+		// Add-before-spawn proof.
+		var addPositions []token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if analysis.FuncKey(analysis.Callee(pass.TypesInfo, call)) == "sync.WaitGroup.Add" {
+				addPositions = append(addPositions, call.Pos())
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			for _, pos := range addPositions {
+				if pos < gs.Pos() {
+					return true // Add-before-spawn
+				}
+			}
+			if body := g.SpawnedBody(gs); body != nil {
+				if p.bodyProves(body) {
+					return true
+				}
+			}
+			pass.Reportf(gs.Pos(),
+				"go statement without a provable lifecycle; tie it to a WaitGroup or done channel, bound it with a buffered handoff, or add //lint:allow gospawn <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+type prover struct {
+	pass  *analysis.Pass
+	g     *callgraph.Graph
+	chans *callgraph.ChanFacts
+}
+
+// bodyProves searches the spawned body, and transitively its static
+// same-package callees, for any accepted lifecycle proof.
+func (p *prover) bodyProves(body *ast.BlockStmt) bool {
+	visited := make(map[*types.Func]bool)
+	var search func(n ast.Node) bool
+	search = func(n ast.Node) bool {
+		proved := false
+		ast.Inspect(n, func(n ast.Node) bool {
+			if proved {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// A nested spawn needs its own proof; still evaluate the
+				// argument expressions, which run on this goroutine.
+				for _, a := range n.Call.Args {
+					if search(a) {
+						proved = true
+					}
+				}
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					proved = true // blocks on a receive
+					return false
+				}
+			case *ast.RangeStmt:
+				if t := p.pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						proved = true // drains until close
+						return false
+					}
+				}
+			case *ast.SendStmt:
+				if p.chans.ProvablyBuffered(n.Chan) {
+					proved = true // bounded handoff
+					return false
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if b, ok := p.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						proved = true // signals a done channel
+						return false
+					}
+				}
+				callee := analysis.Callee(p.pass.TypesInfo, n)
+				if analysis.FuncKey(callee) == "sync.WaitGroup.Done" {
+					proved = true
+					return false
+				}
+				if fd := p.g.Decl(callee); fd != nil && !visited[callee] {
+					visited[callee] = true
+					if search(fd.Body) {
+						proved = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return proved
+	}
+	return search(body)
+}

@@ -1,0 +1,104 @@
+// Package spawn exercises the gospawn analyzer: every go statement must
+// carry a provable lifecycle — WaitGroup accounting, done-channel
+// signalling, or a bounded buffered handoff — or an audited allow.
+package spawn
+
+import "sync"
+
+func bare(work func()) {
+	go work() // want `go statement without a provable lifecycle`
+}
+
+func accounted(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Add textually precedes the spawn in this declaration: proved.
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func doneInBody(wg *sync.WaitGroup, work func()) {
+	// No Add here (the caller did it), but the body's Done is proof
+	// enough on its own.
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func signalled(stop chan struct{}, work func()) {
+	// Blocking on a receive ties the goroutine to its owner's lifetime.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+func closes(done chan struct{}, work func()) {
+	// Closing a done channel is the signalling half of the contract.
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+func drains(jobs chan int, work func(int)) {
+	// Ranging over a channel drains until close: the sender owns the
+	// lifetime.
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+func handoff(work func() int) chan int {
+	results := make(chan int, 1)
+	// Every make site of results has constant positive capacity, so the
+	// send cannot block: the goroutine provably terminates.
+	go func() {
+		results <- work()
+	}()
+	return results
+}
+
+func unbounded(results chan int, work func() int) {
+	// results comes from the caller: no make site is visible, so the
+	// send proves nothing.
+	go func() { // want `go statement without a provable lifecycle`
+		results <- work()
+	}()
+}
+
+func viaHelper(wg *sync.WaitGroup, work func()) {
+	// The proof may live in a directly spawned same-package callee.
+	go tracked(wg, work)
+}
+
+func tracked(wg *sync.WaitGroup, work func()) {
+	defer wg.Done()
+	work()
+}
+
+func nested(wg *sync.WaitGroup, work func()) {
+	// The outer spawn is proved by its Done; the nested spawn needs its
+	// own proof and has none.
+	go func() {
+		defer wg.Done()
+		go work() // want `go statement without a provable lifecycle`
+	}()
+}
+
+func sanctioned(work func()) {
+	//lint:allow gospawn the scheduler owns this goroutine and joins it at shutdown
+	go work()
+}

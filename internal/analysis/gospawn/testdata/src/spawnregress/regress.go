@@ -1,0 +1,69 @@
+// Package spawnregress replays the PR 4 gateway bug against the real
+// replication types: the gateway's group observer spawned one
+// fire-and-forget goroutine per client-departure notification to drop
+// the departed client's records, so a departure storm grew goroutines
+// without bound. The fix — a bounded queue drained by one accounted
+// worker — is the shape the analyzer accepts.
+package spawnregress
+
+import (
+	"sync"
+
+	"eternalgw/internal/replication"
+)
+
+type store struct {
+	mu      sync.Mutex
+	records map[string][]uint64
+	departq chan string
+	wg      sync.WaitGroup
+}
+
+// buggyObserve is the pre-fix shape: one goroutine per departure,
+// nothing bounds or joins them.
+func (s *store) buggyObserve(msg replication.Message, ts uint64) {
+	if msg.Header.Kind != replication.KindGatewayControl {
+		return
+	}
+	go s.dropClient(string(msg.Payload)) // want `go statement without a provable lifecycle`
+}
+
+// observe is the fixed shape: departures enqueue onto a bounded channel
+// (drops counted by the caller) and one worker drains it.
+func (s *store) observe(msg replication.Message, ts uint64) {
+	if msg.Header.Kind != replication.KindGatewayControl {
+		return
+	}
+	select {
+	case s.departq <- string(msg.Payload):
+	default:
+	}
+}
+
+func newStore() *store {
+	s := &store{
+		records: make(map[string][]uint64),
+		departq: make(chan string, 4096),
+	}
+	s.wg.Add(1)
+	go s.departureLoop()
+	return s
+}
+
+func (s *store) departureLoop() {
+	defer s.wg.Done()
+	for id := range s.departq {
+		s.dropClient(id)
+	}
+}
+
+func (s *store) dropClient(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.records, id)
+}
+
+func (s *store) close() {
+	close(s.departq)
+	s.wg.Wait()
+}

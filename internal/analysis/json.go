@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// JSONDiagnostic is the machine-readable form of a finding, consumed by
+// CI to emit GitHub Actions problem-matcher annotations.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// PrintJSON renders findings as a JSON array, sorted like
+// PrintDiagnostics. The array is always emitted, empty included, so
+// consumers can parse the output unconditionally.
+func PrintJSON(w io.Writer, fset *token.FileSet, diags []Diagnostic) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			File:     p.Filename,
+			Line:     p.Line,
+			Column:   p.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

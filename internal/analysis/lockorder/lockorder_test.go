@@ -1,0 +1,99 @@
+package lockorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"eternalgw/internal/analysis"
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "locks")
+}
+
+// TestLockOrderPerPackageSilentOnCrossPackage asserts the per-package
+// pass does not guess about cross-package callees: globallock holds a
+// lock across a call into obs, and only the global check may judge it.
+func TestLockOrderPerPackageSilentOnCrossPackage(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "globallock")
+}
+
+// TestLockOrderGlobalStitchesStoredCallbacks runs the module-mode check
+// over the real obs package plus the globallock corpus: obs's
+// WritePrometheus transitively invokes stored metric callbacks, and
+// globallock calls it under a lock, so the stitched summaries must
+// produce the callback-under-lock hazard the per-package passes cannot
+// see.
+func TestLockOrderGlobalStitchesStoredCallbacks(t *testing.T) {
+	l := analysistest.Loader(t)
+	obsPkg := analysistest.ModulePackage(t, "eternalgw/internal/obs")
+	corpus := analysistest.Check(t, "globallock")
+
+	diags := lockorder.Global(l, []*analysis.Package{obsPkg, corpus})
+	var hit bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "WritePrometheus invokes a stored callback") &&
+			strings.Contains(d.Message, "exporter.mu is held") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("global check: want a stored-callback hazard for scrapeLocked → WritePrometheus, got %v", diags)
+	}
+}
+
+// TestLockOrderMutation flips the acquisition order in one of two
+// consistently ordered functions and proves the cycle fires on exactly
+// that change.
+func TestLockOrderMutation(t *testing.T) {
+	const good = `package m
+
+import "sync"
+
+type s struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func f(x *s) {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock()
+	defer x.b.Unlock()
+}
+
+func g(x *s) {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock()
+	defer x.b.Unlock()
+}
+`
+	if ds := analysistest.Diagnostics(t, lockorder.Analyzer, "lockorder_good", good); len(ds) != 0 {
+		t.Fatalf("good snippet: unexpected diagnostics %v", ds)
+	}
+
+	mutant := strings.Replace(good, `func g(x *s) {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock()
+	defer x.b.Unlock()
+}`, `func g(x *s) {
+	x.b.Lock()
+	defer x.b.Unlock()
+	x.a.Lock()
+	defer x.a.Unlock()
+}`, 1)
+	ds := analysistest.Diagnostics(t, lockorder.Analyzer, "lockorder_mutant", mutant)
+	var cycles int
+	for _, d := range ds {
+		if strings.Contains(d.Message, "lock order cycle") {
+			cycles++
+		}
+	}
+	if cycles == 0 {
+		t.Fatalf("mutant (reversed order): want a lock order cycle diagnostic, got %v", ds)
+	}
+}

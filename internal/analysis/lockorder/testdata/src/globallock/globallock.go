@@ -1,0 +1,26 @@
+// Package globallock exercises the module-mode half of the lockorder
+// analyzer: scrapeLocked calls a real cross-package function
+// (obs.Registry.WritePrometheus) while holding its own mutex. That
+// callee transitively dispatches stored callbacks (CounterFunc/GaugeFunc
+// series render by invoking registered func values), which only the
+// global check — stitching per-package summaries together — can see.
+// The per-package pass over this file must stay silent.
+package globallock
+
+import (
+	"io"
+	"sync"
+
+	"eternalgw/internal/obs"
+)
+
+type exporter struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+func (e *exporter) scrapeLocked(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reg.WritePrometheus(w)
+}

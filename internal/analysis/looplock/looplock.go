@@ -15,7 +15,8 @@
 // deliverGatewayControl and observe, any function passed to
 // (*Mechanisms).SetObserver, and any function whose declaration carries
 // a "gwlint:eventloop" directive comment — the analyzer walks the
-// static call graph of the package under analysis and reports:
+// static call graph of the package under analysis (internal/analysis/
+// callgraph) and reports:
 //
 //   - time.Sleep;
 //   - (*sync.RWMutex).Lock — the directory write lock; RLock and plain
@@ -37,10 +38,9 @@ package looplock
 
 import (
 	"go/ast"
-	"go/types"
-	"strings"
 
 	"eternalgw/internal/analysis"
+	"eternalgw/internal/analysis/callgraph"
 )
 
 // defaultRoots are the datapath handlers dispatched by
@@ -48,14 +48,14 @@ import (
 // the totem fast-path send hooks that run directly on the ring's event
 // loop (a blocking call there stalls ordering for the whole ring).
 var defaultRoots = map[string]bool{
-	"eternalgw/internal/replication.Mechanisms.deliverInvocation":    true,
-	"eternalgw/internal/replication.Mechanisms.deliverResponse":      true,
+	"eternalgw/internal/replication.Mechanisms.deliverInvocation":     true,
+	"eternalgw/internal/replication.Mechanisms.deliverResponse":       true,
 	"eternalgw/internal/replication.Mechanisms.deliverVotingResponse": true,
-	"eternalgw/internal/replication.Mechanisms.observeResponse":      true,
+	"eternalgw/internal/replication.Mechanisms.observeResponse":       true,
 	"eternalgw/internal/replication.Mechanisms.deliverGatewayControl": true,
-	"eternalgw/internal/replication.Mechanisms.observe":              true,
-	"eternalgw/internal/totem.Node.forwardPending":                   true,
-	"eternalgw/internal/totem.Node.leaderOrderPending":               true,
+	"eternalgw/internal/replication.Mechanisms.observe":               true,
+	"eternalgw/internal/totem.Node.forwardPending":                    true,
+	"eternalgw/internal/totem.Node.leaderOrderPending":                true,
 }
 
 // setObserverKey is the registration point whose function argument runs
@@ -86,294 +86,61 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-type checker struct {
-	pass    *analysis.Pass
-	decls   map[*types.Func]*ast.FuncDecl
-	visited map[*types.Func]bool
-	// bufferedKeys are channel storage locations (object, or struct
-	// field) whose every make site in the package has constant cap > 0.
-	buffered map[chanKey]bool
-	unknown  map[chanKey]bool // make with unknown/zero cap seen
-}
-
-// chanKey identifies where a channel lives: a variable object, or a
-// named struct field.
-type chanKey struct {
-	obj   types.Object // variable, when field == ""
-	owner string       // TypeKey of the struct, for fields
-	field string
-}
-
 func run(pass *analysis.Pass) error {
-	c := &checker{
-		pass:     pass,
-		decls:    make(map[*types.Func]*ast.FuncDecl),
-		visited:  make(map[*types.Func]bool),
-		buffered: make(map[chanKey]bool),
-		unknown:  make(map[chanKey]bool),
-	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					c.decls[fn] = fd
-				}
-			}
-		}
-	}
-	c.collectMakes()
+	g := callgraph.New(pass.Files, pass.TypesInfo)
+	chans := g.Chans()
 
-	roots := c.findRoots()
-	for _, fn := range roots {
-		c.visit(fn, fn.Name())
-	}
-	return nil
-}
-
-// findRoots resolves the loop entry points present in this package.
-func (c *checker) findRoots() []*types.Func {
-	var roots []*types.Func
-	seen := map[*types.Func]bool{}
-	add := func(fn *types.Func) {
-		if fn != nil && !seen[fn] && c.decls[fn] != nil {
-			seen[fn] = true
-			roots = append(roots, fn)
-		}
-	}
-	for fn := range c.decls {
-		if defaultRoots[analysis.FuncKey(fn)] {
-			add(fn)
-		}
-	}
-	for obj, ds := range analysis.FuncDirectives(c.pass.Files, c.pass.TypesInfo) {
-		if analysis.HasDirective(ds, "eventloop") {
-			if fn, ok := obj.(*types.Func); ok {
-				add(fn)
-			}
-		}
-	}
+	roots := g.FuncsByKey(defaultRoots)
+	roots = append(roots, g.DirectiveRoots("eventloop")...)
 	// Anything registered with SetObserver runs on the loop, whichever
 	// package registers it.
-	for _, f := range c.pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if analysis.FuncKey(analysis.Callee(c.pass.TypesInfo, call)) != setObserverKey {
-				return true
-			}
-			for _, arg := range call.Args {
-				switch a := ast.Unparen(arg).(type) {
-				case *ast.Ident:
-					if fn, ok := c.pass.TypesInfo.Uses[a].(*types.Func); ok {
-						add(fn)
-					}
-				case *ast.SelectorExpr:
-					if fn, ok := c.pass.TypesInfo.Uses[a.Sel].(*types.Func); ok {
-						add(fn)
-					}
-				}
-			}
-			return true
-		})
-	}
-	return roots
-}
+	roots = append(roots, g.RegisteredArgs(setObserverKey)...)
 
-// visit walks one reachable function, reporting blocking operations and
-// following same-package static calls.
-func (c *checker) visit(fn *types.Func, path string) {
-	if c.visited[fn] {
-		return
-	}
-	c.visited[fn] = true
-	fd := c.decls[fn]
-	if fd == nil {
-		return
-	}
-	c.walk(fd.Body, path, nil)
-}
+	// safeSends are send statements that are comm cases of a select with
+	// a default clause: non-blocking by construction.
+	safeSends := make(map[*ast.SendStmt]bool)
 
-// walk recursively inspects stmts. safeSends holds the send statements
-// that are comm cases of a select with a default clause.
-func (c *checker) walk(n ast.Node, path string, safeSends map[*ast.SendStmt]bool) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.GoStmt:
-			// The spawned goroutine runs off the loop; evaluating the
-			// call's arguments happens on it, so still look at those.
-			for _, a := range n.Call.Args {
-				c.walk(a, path, safeSends)
-			}
-			return false
-		case *ast.SelectStmt:
-			hasDefault := false
-			for _, cl := range n.Body.List {
-				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
-					hasDefault = true
-				}
-			}
-			if hasDefault {
-				inner := make(map[*ast.SendStmt]bool, len(safeSends)+2)
-				for k := range safeSends {
-					inner[k] = true
-				}
-				for _, cl := range n.Body.List {
-					if cc, ok := cl.(*ast.CommClause); ok {
-						if s, ok := cc.Comm.(*ast.SendStmt); ok {
-							inner[s] = true
-						}
-					}
-				}
-				for _, cl := range n.Body.List {
-					c.walk(cl, path, inner)
-				}
-				return false
-			}
-			// A select without default can wait indefinitely.
-			c.pass.Reportf(n.Pos(),
-				"select without default may block the replication event loop (reachable via %s)", path)
-			return false
-		case *ast.SendStmt:
-			if !safeSends[n] && !c.provablyBuffered(n.Chan) {
-				c.pass.Reportf(n.Pos(),
-					"channel send may block the replication event loop (reachable via %s); use a buffered channel or select with default", path)
-			}
-			return true
-		case *ast.CallExpr:
-			callee := analysis.Callee(c.pass.TypesInfo, n)
-			if callee == nil {
-				return true
-			}
-			key := analysis.FuncKey(callee)
-			if what, ok := blockingCalls[key]; ok {
-				c.pass.Reportf(n.Pos(),
-					"%s on the replication event loop (reachable via %s)", what, path)
-				return true
-			}
-			if next := c.decls[callee]; next != nil && !c.visited[callee] {
-				c.visited[callee] = true
-				c.walk(next.Body, path+" → "+callee.Name(), nil)
-			}
-			return true
-		}
-		return true
-	})
-}
-
-// collectMakes records, for every channel storage location assigned in
-// the package, whether all its make sites carry a constant capacity > 0.
-func (c *checker) collectMakes() {
-	note := func(key chanKey, buffered bool) {
-		if buffered && !c.unknown[key] {
-			c.buffered[key] = true
-		} else {
-			c.unknown[key] = true
-			delete(c.buffered, key)
-		}
-	}
-	for _, f := range c.pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
+	g.Walk(roots, &callgraph.Walk{
+		FollowGoBodies: false,
+		Node: func(n ast.Node, path string) bool {
 			switch n := n.(type) {
-			case *ast.AssignStmt:
-				if len(n.Lhs) != len(n.Rhs) {
-					return true
-				}
-				for i, rhs := range n.Rhs {
-					if ok, buffered := c.makeChan(rhs); ok {
-						if key, ok := c.keyFor(n.Lhs[i]); ok {
-							note(key, buffered)
-						}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
 					}
 				}
-			case *ast.CompositeLit:
-				for _, el := range n.Elts {
-					kv, ok := el.(*ast.KeyValueExpr)
-					if !ok {
-						continue
-					}
-					if ok, buffered := c.makeChan(kv.Value); ok {
-						if id, ok := kv.Key.(*ast.Ident); ok {
-							if owner := analysis.TypeKey(c.pass.TypesInfo.TypeOf(n)); owner != "" {
-								note(chanKey{owner: owner, field: id.Name}, buffered)
+				if hasDefault {
+					for _, cl := range n.Body.List {
+						if cc, ok := cl.(*ast.CommClause); ok {
+							if s, ok := cc.Comm.(*ast.SendStmt); ok {
+								safeSends[s] = true
 							}
 						}
 					}
+					return true
 				}
+				// A select without default can wait indefinitely.
+				pass.Reportf(n.Pos(),
+					"select without default may block the replication event loop (reachable via %s)", path)
+				return false
+			case *ast.SendStmt:
+				if !safeSends[n] && !chans.ProvablyBuffered(n.Chan) {
+					pass.Reportf(n.Pos(),
+						"channel send may block the replication event loop (reachable via %s); use a buffered channel or select with default", path)
+				}
+				return true
+			case *ast.CallExpr:
+				key := analysis.FuncKey(analysis.Callee(pass.TypesInfo, n))
+				if what, ok := blockingCalls[key]; ok {
+					pass.Reportf(n.Pos(),
+						"%s on the replication event loop (reachable via %s)", what, path)
+				}
+				return true
 			}
 			return true
-		})
-	}
-}
-
-// makeChan reports whether e is make(chan ...) and whether its capacity
-// is a constant greater than zero.
-func (c *checker) makeChan(e ast.Expr) (isMake, buffered bool) {
-	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok {
-		return false, false
-	}
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	if !ok {
-		return false, false
-	}
-	if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
-		return false, false
-	}
-	if len(call.Args) == 0 {
-		return false, false
-	}
-	if _, ok := c.pass.TypesInfo.TypeOf(call.Args[0]).Underlying().(*types.Chan); !ok {
-		return false, false
-	}
-	if len(call.Args) < 2 {
-		return true, false
-	}
-	tv, ok := c.pass.TypesInfo.Types[call.Args[1]]
-	if !ok || tv.Value == nil {
-		return true, false
-	}
-	return true, constIntPositive(tv.Value.String())
-}
-
-func constIntPositive(s string) bool {
-	s = strings.TrimSpace(s)
-	return s != "" && s != "0" && !strings.HasPrefix(s, "-")
-}
-
-// keyFor resolves a channel storage location for an lvalue or channel
-// expression.
-func (c *checker) keyFor(e ast.Expr) (chanKey, bool) {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		obj := c.pass.TypesInfo.Defs[e]
-		if obj == nil {
-			obj = c.pass.TypesInfo.Uses[e]
-		}
-		if obj == nil {
-			return chanKey{}, false
-		}
-		return chanKey{obj: obj}, true
-	case *ast.SelectorExpr:
-		owner := analysis.TypeKey(c.pass.TypesInfo.TypeOf(e.X))
-		if owner == "" {
-			return chanKey{}, false
-		}
-		return chanKey{owner: owner, field: e.Sel.Name}, true
-	}
-	return chanKey{}, false
-}
-
-// provablyBuffered reports whether every make site seen for ch's storage
-// location had a constant positive capacity.
-func (c *checker) provablyBuffered(ch ast.Expr) bool {
-	key, ok := c.keyFor(ch)
-	if !ok {
-		return false
-	}
-	return c.buffered[key] && !c.unknown[key]
+		},
+	})
+	return nil
 }

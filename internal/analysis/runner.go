@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 )
@@ -17,6 +18,12 @@ type GlobalCheck func(l *Loader, pkgs []*Package) []Diagnostic
 // module rooted at dir, run every analyzer on every package, then the
 // global checks, print findings and return the process exit code.
 func RunModule(w io.Writer, dir string, patterns []string, analyzers []*Analyzer, globals []GlobalCheck) int {
+	return RunModuleWith(w, dir, patterns, analyzers, globals, PrintDiagnostics)
+}
+
+// RunModuleWith is RunModule with a caller-chosen renderer
+// (PrintDiagnostics for the vet-style text form, PrintJSON for CI).
+func RunModuleWith(w io.Writer, dir string, patterns []string, analyzers []*Analyzer, globals []GlobalCheck, print func(io.Writer, *token.FileSet, []Diagnostic)) int {
 	l, pkgs, err := LoadModule(dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gwlint:", err)
@@ -34,9 +41,9 @@ func RunModule(w io.Writer, dir string, patterns []string, analyzers []*Analyzer
 	for _, g := range globals {
 		diags = append(diags, g(l, pkgs)...)
 	}
+	print(w, l.Fset, diags)
 	if len(diags) == 0 {
 		return 0
 	}
-	PrintDiagnostics(w, l.Fset, diags)
 	return 2
 }

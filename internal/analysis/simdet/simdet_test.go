@@ -1,0 +1,41 @@
+package simdet_test
+
+import (
+	"strings"
+	"testing"
+
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, simdet.Analyzer, "sim")
+}
+
+// TestSimdetMutation breaks the determinism invariant in a known-good
+// snippet — an injected clock replaced by the wall clock — and proves
+// the analyzer fires on exactly that change.
+func TestSimdetMutation(t *testing.T) {
+	const good = `package m
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+}
+
+// gwlint:simroot
+func step(c clock) time.Time {
+	return c.Now()
+}
+`
+	if ds := analysistest.Diagnostics(t, simdet.Analyzer, "simdet_good", good); len(ds) != 0 {
+		t.Fatalf("good snippet: unexpected diagnostics %v", ds)
+	}
+
+	mutant := strings.Replace(good, "return c.Now()", "return time.Now()", 1)
+	ds := analysistest.Diagnostics(t, simdet.Analyzer, "simdet_mutant", mutant)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "time.Now") {
+		t.Fatalf("mutant (wall clock): want one time.Now diagnostic, got %v", ds)
+	}
+}

@@ -43,8 +43,8 @@ var Analyzer = &analysis.Analyzer{
 
 type checker struct {
 	pass   *analysis.Pass
-	nocopy map[string]bool            // TypeKeys declared gwlint:nocopy
-	memo   map[types.Type]bool        // containsNoCopy cache
+	nocopy map[string]bool     // TypeKeys declared gwlint:nocopy
+	memo   map[types.Type]bool // containsNoCopy cache
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,156 @@
+// Package wire exercises the wiresym analyzer: encoder/decoder
+// wire-sequence symmetry (with the one-leading-kind-octet dispatch
+// allowance and paired read/write helpers) and the hostile-length guard
+// discipline on counts that size allocations.
+package wire
+
+import (
+	"fmt"
+
+	"eternalgw/internal/cdr"
+)
+
+type record struct {
+	id   uint32
+	name string
+}
+
+// encodeRecord / decodeRecord agree on the wire sequence: silent.
+func encodeRecord(w *cdr.Writer, r record) {
+	w.WriteULong(r.id)
+	w.WriteString(r.name)
+}
+
+func decodeRecord(rd *cdr.Reader) (record, error) {
+	var r record
+	r.id = rd.ReadULong()
+	r.name = rd.ReadString()
+	return r, rd.Err()
+}
+
+// encodeEvent writes name then id; decodeEvent reads them transposed —
+// a syntactically valid decode of semantically wrong state.
+func encodeEvent(w *cdr.Writer, r record) {
+	w.WriteString(r.name)
+	w.WriteULongLong(uint64(r.id))
+}
+
+func decodeEvent(rd *cdr.Reader) (record, error) { // want `decodeEvent reads \(ulonglong string\) but encodeEvent writes a different wire sequence`
+	var r record
+	r.id = uint32(rd.ReadULongLong())
+	r.name = rd.ReadString()
+	return r, rd.Err()
+}
+
+// encodeFrame carries a kind octet the dispatcher consumes before
+// decodeFrame runs, and both halves share a read/write helper pair.
+func encodeFrame(w *cdr.Writer, r record) {
+	w.WriteOctet(1)
+	writeBody(w, r)
+}
+
+func writeBody(w *cdr.Writer, r record) {
+	w.WriteULong(r.id)
+	w.WriteBool(true)
+}
+
+func decodeFrame(rd *cdr.Reader) (record, error) {
+	var r record
+	readBody(rd, &r)
+	return r, rd.Err()
+}
+
+func readBody(rd *cdr.Reader, r *record) {
+	r.id = rd.ReadULong()
+	_ = rd.ReadBool()
+}
+
+// decodeList sizes an allocation straight from the wire: an attacker
+// chooses the count.
+func decodeList(rd *cdr.Reader) ([]uint32, error) {
+	n := rd.ReadULong()
+	out := make([]uint32, 0, n) // want `decodeList sizes an allocation from an unguarded wire count`
+	for i := uint32(0); i < n; i++ {
+		out = append(out, rd.ReadULong())
+	}
+	return out, rd.Err()
+}
+
+// decodeSkip guards, but by skipping: a bad count decodes a plausible,
+// silently truncated message instead of an error.
+func decodeSkip(rd *cdr.Reader) ([]uint32, error) {
+	n := rd.ReadULong()
+	var out []uint32
+	if int(n) <= rd.Remaining()/4 {
+		out = make([]uint32, 0, n) // want `decodeSkip silently skips fields when the wire count fails its bounds check`
+		for i := uint32(0); i < n; i++ {
+			out = append(out, rd.ReadULong())
+		}
+	}
+	return out, rd.Err()
+}
+
+// decodeGuarded rejects a hostile count before allocating: the
+// decodeAck shape after the PR 7 fix.
+func decodeGuarded(rd *cdr.Reader) ([]uint32, error) {
+	n := rd.ReadULong()
+	if rd.Err() != nil || int(n) > rd.Remaining()/4 {
+		return nil, fmt.Errorf("wire: bad count %d", n)
+	}
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, rd.ReadULong())
+	}
+	return out, rd.Err()
+}
+
+// decodeClamped bounds the count instead: the readServiceContexts
+// capacity-hint idiom.
+func decodeClamped(rd *cdr.Reader) []uint32 {
+	n := rd.ReadULong()
+	if int(n) > rd.Remaining()/4 {
+		n = uint32(rd.Remaining() / 4)
+	}
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		out = append(out, rd.ReadULong())
+	}
+	return out
+}
+
+// decodeAppend never sizes an allocation from the count: append grows
+// in step with real input, so no guard is demanded.
+func decodeAppend(rd *cdr.Reader) ([]uint32, error) {
+	n := rd.ReadULong()
+	var out []uint32
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		out = append(out, rd.ReadULong())
+	}
+	return out, rd.Err()
+}
+
+// readPairs is a helper, not a named codec, but it carries the reader
+// and allocates from a wire count: the guard discipline follows the
+// reader, not the function name.
+func readPairs(rd *cdr.Reader) map[uint32]uint32 {
+	n := rd.ReadULong()
+	m := make(map[uint32]uint32, n) // want `readPairs sizes an allocation from an unguarded wire count`
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		k := rd.ReadULong()
+		m[k] = rd.ReadULong()
+	}
+	return m
+}
+
+// decodeAudited keeps an unguarded allocation deliberately (the payload
+// is produced by a trusted in-process encoder); the allow carries the
+// argument.
+func decodeAudited(rd *cdr.Reader) ([]uint32, error) {
+	n := rd.ReadULong()
+	//lint:allow wiresym reader wraps an in-memory buffer produced by this process
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		out = append(out, rd.ReadULong())
+	}
+	return out, rd.Err()
+}

@@ -1,0 +1,53 @@
+// Package wireregress replays the PR 7 decodeAck bug against the real
+// cdr types: the pre-fix decoder bounds-checked the nak count but
+// guarded by skipping, so a truncated or hostile ack decoded
+// "successfully" with an empty nak list — retransmission state silently
+// dropped instead of an error. The fixed form (internal/totem/wire.go)
+// rejects before allocating.
+package wireregress
+
+import (
+	"fmt"
+
+	"eternalgw/internal/cdr"
+)
+
+type ackMsg struct {
+	RingID uint64
+	Sender string
+	Aru    uint64
+	Nak    []uint64
+}
+
+func encodeAck(a ackMsg) []byte {
+	w := cdr.NewWriterCap(cdr.BigEndian, 40+len(a.Sender)+8*len(a.Nak))
+	w.WriteOctet(6)
+	w.WriteULongLong(a.RingID)
+	w.WriteString(a.Sender)
+	w.WriteULongLong(a.Aru)
+	w.WriteULong(uint32(len(a.Nak)))
+	for _, s := range a.Nak {
+		w.WriteULongLong(s)
+	}
+	return w.Bytes()
+}
+
+// decodeAck is the pre-fix decoder, verbatim in shape: the bounds check
+// wraps the allocation instead of rejecting the message.
+func decodeAck(r *cdr.Reader) (ackMsg, error) {
+	var a ackMsg
+	a.RingID = r.ReadULongLong()
+	a.Sender = r.ReadString()
+	a.Aru = r.ReadULongLong()
+	n := r.ReadULong()
+	if n > 0 && int(n) <= r.Remaining()/8 {
+		a.Nak = make([]uint64, 0, n) // want `decodeAck silently skips fields when the wire count fails its bounds check`
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			a.Nak = append(a.Nak, r.ReadULongLong())
+		}
+	}
+	if err := r.Err(); err != nil {
+		return ackMsg{}, fmt.Errorf("wireregress: decode ack: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,81 @@
+package wiresym_test
+
+import (
+	"strings"
+	"testing"
+
+	"eternalgw/internal/analysis/analysistest"
+	"eternalgw/internal/analysis/wiresym"
+)
+
+func TestWireSym(t *testing.T) {
+	analysistest.Run(t, wiresym.Analyzer, "wire")
+}
+
+// TestWireSymRegress replays the PR 7 decodeAck silent-truncation bug
+// against the real cdr types.
+func TestWireSymRegress(t *testing.T) {
+	analysistest.Run(t, wiresym.Analyzer, "wireregress")
+}
+
+const wiresymGood = `package m
+
+import (
+	"fmt"
+
+	"eternalgw/internal/cdr"
+)
+
+func encodeEntry(w *cdr.Writer, id uint32, name string) {
+	w.WriteULong(id)
+	w.WriteString(name)
+}
+
+func decodeEntry(r *cdr.Reader) (uint32, string, error) {
+	id := r.ReadULong()
+	name := r.ReadString()
+	return id, name, r.Err()
+}
+
+func decodeTable(r *cdr.Reader) ([]string, error) {
+	n := r.ReadULong()
+	if r.Err() != nil || int(n) > r.Remaining()/4 {
+		return nil, fmt.Errorf("m: bad count %d", n)
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, r.ReadString())
+	}
+	return out, r.Err()
+}
+`
+
+// TestWireSymMutationAsymmetry transposes two encoder writes in a
+// known-good codec pair and proves the symmetry check fires on exactly
+// that change.
+func TestWireSymMutationAsymmetry(t *testing.T) {
+	if ds := analysistest.Diagnostics(t, wiresym.Analyzer, "wiresym_good", wiresymGood); len(ds) != 0 {
+		t.Fatalf("good snippet: unexpected diagnostics %v", ds)
+	}
+
+	mutant := strings.Replace(wiresymGood, "w.WriteULong(id)\n\tw.WriteString(name)",
+		"w.WriteString(name)\n\tw.WriteULong(id)", 1)
+	ds := analysistest.Diagnostics(t, wiresym.Analyzer, "wiresym_swapped", mutant)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "writes a different wire sequence") {
+		t.Fatalf("mutant (transposed writes): want one symmetry diagnostic, got %v", ds)
+	}
+}
+
+// TestWireSymMutationGuard deletes the hostile-count guard and proves
+// the bounds check fires on exactly that change.
+func TestWireSymMutationGuard(t *testing.T) {
+	mutant := strings.Replace(wiresymGood, `	if r.Err() != nil || int(n) > r.Remaining()/4 {
+		return nil, fmt.Errorf("m: bad count %d", n)
+	}
+`, "", 1)
+	mutant = strings.Replace(mutant, "\"fmt\"\n\n\t", "", 1)
+	ds := analysistest.Diagnostics(t, wiresym.Analyzer, "wiresym_unguarded", mutant)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "unguarded wire count") {
+		t.Fatalf("mutant (guard deleted): want one unguarded-count diagnostic, got %v", ds)
+	}
+}

@@ -138,6 +138,12 @@ func (s *Service) SetState(state []byte) error {
 	defer s.mu.Unlock()
 	r := cdr.NewReader(state, cdr.BigEndian)
 	n := r.ReadULong()
+	// Each entry is two strings of at least four bytes (their length
+	// prefixes); a count that cannot fit is hostile or corrupt and must
+	// not size the allocation.
+	if r.Err() != nil || int(n) > r.Remaining()/8 {
+		return fmt.Errorf("naming: set state: bad entry count %d", n)
+	}
 	entries := make(map[string]string, n)
 	for i := uint32(0); i < n; i++ {
 		name := r.ReadString()
@@ -210,6 +216,9 @@ func (r *Resolver) List() ([]string, error) {
 		return nil, err
 	}
 	n := rd.ReadULong()
+	if rd.Err() != nil || int(n) > rd.Remaining()/4 {
+		return nil, fmt.Errorf("naming: list: bad name count %d", n)
+	}
 	names := make([]string, 0, n)
 	for i := uint32(0); i < n; i++ {
 		names = append(names, rd.ReadString())

@@ -118,12 +118,14 @@ func (m *Mechanisms) deliverDeleteGroup(msg Message) {
 // group's observer; the infrastructure itself attaches no meaning to it.
 func (m *Mechanisms) deliverGatewayControl(msg Message, ts uint64) {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	g, ok := m.groups[msg.Header.DstGroup]
-	if !ok {
-		return
+	var fn Observer
+	if g, ok := m.groups[msg.Header.DstGroup]; ok {
+		fn = m.observerLocked(g)
 	}
-	m.observe(g, msg, ts)
+	m.mu.RUnlock()
+	if fn != nil {
+		fn(msg, ts)
+	}
 }
 
 func (m *Mechanisms) deliverCreateGroup(msg Message, ts uint64) {
@@ -341,8 +343,11 @@ func (m *Mechanisms) handleConfig(c totem.ConfigChange) {
 				// Multicast can block on the send queue; it must leave the
 				// event loop. The snapshot was taken under mu at the merge
 				// point, so every majority node sends identical content and
-				// the first delivery wins.
+				// the first delivery wins. Stop waits on wg for this
+				// handoff.
+				m.wg.Add(1)
 				go func() {
+					defer m.wg.Done()
 					_ = m.multicast(Message{
 						Header:  Header{Kind: KindMembershipSync, ClientID: UnusedClientID},
 						Payload: payload,
@@ -520,25 +525,51 @@ func (m *Mechanisms) deliverInvocation(hv HeaderView, raw []byte, ts uint64) {
 		return
 	}
 	msg := hv.Message()
+	// Everything the directory lock protects is collected in one read
+	// section; the observers run after release (see observerLocked). The
+	// event loop is the only dispatcher, so they still see invocations in
+	// total order.
 	m.mu.RLock()
 	// An invocation is also observed by its source group, if this node is
 	// a member: that is how gateways build the §3.5 gateway-group record
 	// from the invocation itself, without a separate record multicast —
 	// every gateway sees the invocation at the same point in the total
 	// order as the servants do.
+	var srcObs, dstObs Observer
 	if msg.Header.SrcGroup != msg.Header.DstGroup {
 		if sg, ok := m.groups[msg.Header.SrcGroup]; ok {
-			m.observe(sg, msg, ts)
+			srcObs = m.observerLocked(sg)
 		}
 	}
 	g, ok := m.groups[msg.Header.DstGroup]
 	if !ok {
 		m.mu.RUnlock()
+		if srcObs != nil {
+			srcObs(msg, ts)
+		}
 		return
 	}
-	m.observe(g, msg, ts)
-	if g.local == nil || g.local.app == nil {
-		m.mu.RUnlock()
+	dstObs = m.observerLocked(g)
+	var r *replica
+	execute := true
+	logOnly := false
+	if g.local != nil && g.local.app != nil {
+		r = g.local
+		if g.style == WarmPassive || g.style == ColdPassive {
+			// Only the primary executes; backups log the invocation
+			// stream for replay after failover.
+			execute = r.primary
+			logOnly = !r.primary
+		}
+	}
+	m.mu.RUnlock()
+	if srcObs != nil {
+		srcObs(msg, ts)
+	}
+	if dstObs != nil {
+		dstObs(msg, ts)
+	}
+	if r == nil {
 		return
 	}
 	// The deliver span fires only on nodes hosting a servant for the
@@ -546,16 +577,6 @@ func (m *Mechanisms) deliverInvocation(hv HeaderView, raw []byte, ts uint64) {
 	// real invocation's operation identifier and would otherwise pollute
 	// that trace with an earlier deliver hop.
 	m.tracer.Event(traceKey(msg.Header), obs.StageDeliver, string(m.cfg.NodeID))
-	r := g.local
-	execute := true
-	logOnly := false
-	if g.style == WarmPassive || g.style == ColdPassive {
-		// Only the primary executes; backups log the invocation stream
-		// for replay after failover.
-		execute = r.primary
-		logOnly = !r.primary
-	}
-	m.mu.RUnlock()
 	// The still-encoded GIOP request rides to the per-group executor,
 	// which decodes it off the event loop; backups that only log the
 	// invocation copy the raw wire form instead of re-encoding it.
@@ -692,12 +713,16 @@ func (m *Mechanisms) deliverVotingResponse(hv HeaderView, sh *pendingShard, key 
 // the payload aliases the delivery buffer.
 func (m *Mechanisms) observeResponse(hv HeaderView, ts uint64) bool {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
 	g, ok := m.groups[hv.Header.DstGroup]
 	if !ok || g.local == nil {
+		m.mu.RUnlock()
 		return false
 	}
-	m.observe(g, hv.Message(), ts)
+	fn := m.observerLocked(g)
+	m.mu.RUnlock()
+	if fn != nil {
+		fn(hv.Message(), ts)
+	}
 	return true
 }
 

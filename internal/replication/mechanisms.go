@@ -131,6 +131,10 @@ type Mechanisms struct {
 	pending *pendingTable
 
 	stopOnce sync.Once
+	// wg tracks goroutines the event loop hands blocking work to (the
+	// membership-sync multicast); Stop waits for them so no multicast
+	// fires after the caller assumes quiescence.
+	wg sync.WaitGroup
 
 	invocationsSent      atomic.Uint64
 	invocationsExecuted  atomic.Uint64
@@ -278,10 +282,13 @@ func (m *Mechanisms) NodeID() memnet.NodeID { return m.cfg.NodeID }
 // the resource manager to inspect recovery behaviour).
 func (m *Mechanisms) Log() *logrec.Log { return m.log }
 
-// Stop shuts down the event loop and all replica executors.
+// Stop shuts down the event loop and all replica executors, then waits
+// for any in-flight handoff goroutines (totem.Multicast unblocks them
+// once the node stops, so the wait terminates on every shutdown path).
 func (m *Mechanisms) Stop() {
 	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
+	m.wg.Wait()
 }
 
 // Stats snapshots the counters.
@@ -627,14 +634,20 @@ func (m *Mechanisms) SetObserver(group GroupID, fn Observer) {
 	m.observers[group] = fn
 }
 
-// observe dispatches a delivered message to the group's observer, if the
-// node is a member. Callers hold mu (read or write). The message payload
-// may alias the delivery buffer; observers copy what they retain.
-func (m *Mechanisms) observe(g *groupState, msg Message, ts uint64) {
+// observerLocked returns the observer a delivered message to the group
+// should be dispatched to, or nil if the node is not a member or none is
+// registered. Callers hold mu (read or write) for the map lookup, but
+// must invoke the returned function only after releasing it: observers
+// are foreign code (the gateway record takes its shard locks and copies
+// reply bytes), so calling them under the directory lock stretches the
+// event loop's critical section and hides lock-order edges from static
+// analysis (gwlint lockorder). Delivery order is preserved because every
+// dispatch site runs on the single event-loop goroutine. The message
+// payload may alias the delivery buffer; observers copy what they
+// retain.
+func (m *Mechanisms) observerLocked(g *groupState) Observer {
 	if g.local == nil {
-		return
+		return nil
 	}
-	if fn, ok := m.observers[g.id]; ok {
-		fn(msg, ts)
-	}
+	return m.observers[g.id]
 }

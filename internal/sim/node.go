@@ -929,8 +929,11 @@ func (n *node) adoptSnapshot(s *snapshot) {
 	if n.execPos < s.execPos {
 		n.execPos = s.execPos
 		n.apps = make(map[int]App, len(s.apps))
-		for g, a := range s.apps {
-			n.apps[g] = a.Clone()
+		// Clone in sorted group order: an App's Clone may observe the
+		// call order (allocation counters, shared pools), and map
+		// iteration order must not leak into the deterministic schedule.
+		for _, g := range sortedAppGroups(s.apps) {
+			n.apps[g] = s.apps[g].Clone()
 		}
 		n.executed = make(map[int]map[OpKey]execRec, len(s.executed))
 		for g, m := range s.executed {
@@ -950,6 +953,16 @@ func (n *node) adoptSnapshot(s *snapshot) {
 	}
 }
 
+// sortedAppGroups returns the map's group ids in ascending order.
+func sortedAppGroups(m map[int]App) []int {
+	out := make([]int, 0, len(m))
+	for g := range m {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
 func (n *node) makeSnapshot() *snapshot {
 	s := &snapshot{
 		log:        append([]*entry(nil), n.log...),
@@ -960,8 +973,10 @@ func (n *node) makeSnapshot() *snapshot {
 		executed:   make(map[int]map[OpKey]execRec, len(n.executed)),
 		outbox:     make(map[OpKey]*Op, len(n.outbox)),
 	}
-	for g, a := range n.apps {
-		s.apps[g] = a.Clone()
+	// Sorted for the same reason as adoptSnapshot: Clone is a call into
+	// application code, and its invocation order must be schedule-stable.
+	for _, g := range sortedAppGroups(n.apps) {
+		s.apps[g] = n.apps[g].Clone()
 	}
 	for g, m := range n.executed {
 		cp := make(map[OpKey]execRec, len(m))

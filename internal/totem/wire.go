@@ -188,18 +188,23 @@ func decodeToken(r *cdr.Reader) (token, error) {
 	t.Succ = memnet.NodeID(r.ReadString())
 	t.Spent = r.ReadULong()
 	nRtr := r.ReadULong()
-	if r.Err() == nil && int(nRtr) <= r.Remaining()/8 {
-		t.Rtr = make([]rtrEntry, 0, nRtr)
-		for i := uint32(0); i < nRtr && r.Err() == nil; i++ {
-			t.Rtr = append(t.Rtr, rtrEntry{Seq: r.ReadULongLong(), Age: r.ReadULong()})
-		}
+	if r.Err() != nil || int(nRtr) > r.Remaining()/8 {
+		// A hostile count must fail the decode, not silently yield an
+		// empty retransmission list: the reads after it would continue
+		// from the middle of the entries and produce a garbage token.
+		return token{}, fmt.Errorf("totem: decode token: bad rtr count %d", nRtr)
+	}
+	t.Rtr = make([]rtrEntry, 0, nRtr)
+	for i := uint32(0); i < nRtr && r.Err() == nil; i++ {
+		t.Rtr = append(t.Rtr, rtrEntry{Seq: r.ReadULongLong(), Age: r.ReadULong()})
 	}
 	nSkip := r.ReadULong()
-	if r.Err() == nil && int(nSkip) <= r.Remaining()/8 {
-		t.Skip = make([]uint64, 0, nSkip)
-		for i := uint32(0); i < nSkip && r.Err() == nil; i++ {
-			t.Skip = append(t.Skip, r.ReadULongLong())
-		}
+	if r.Err() != nil || int(nSkip) > r.Remaining()/8 {
+		return token{}, fmt.Errorf("totem: decode token: bad skip count %d", nSkip)
+	}
+	t.Skip = make([]uint64, 0, nSkip)
+	for i := uint32(0); i < nSkip && r.Err() == nil; i++ {
+		t.Skip = append(t.Skip, r.ReadULongLong())
 	}
 	if err := r.Err(); err != nil {
 		return token{}, fmt.Errorf("totem: decode token: %w", err)
@@ -427,11 +432,12 @@ func decodeJoin(r *cdr.Reader) (joinMsg, error) {
 	var j joinMsg
 	j.Sender = memnet.NodeID(r.ReadString())
 	n := r.ReadULong()
-	if r.Err() == nil && int(n) <= r.Remaining()/4 {
-		j.Alive = make([]memnet.NodeID, 0, n)
-		for i := uint32(0); i < n && r.Err() == nil; i++ {
-			j.Alive = append(j.Alive, memnet.NodeID(r.ReadString()))
-		}
+	if r.Err() != nil || int(n) > r.Remaining()/4 {
+		return joinMsg{}, fmt.Errorf("totem: decode join: bad alive count %d", n)
+	}
+	j.Alive = make([]memnet.NodeID, 0, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		j.Alive = append(j.Alive, memnet.NodeID(r.ReadString()))
 	}
 	j.RingID = r.ReadULongLong()
 	j.Highest = r.ReadULongLong()
